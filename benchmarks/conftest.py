@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index), prints it, and writes it under
+``results/``.  Expensive artifacts (the full Table I campaign, the
+synthetic vehicle drive) are session-scoped so the suite pays for them
+once.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+warnings.filterwarnings("ignore", category=RuntimeWarning)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Seed for every reproduction artifact (change to probe robustness).
+SEED = 2014
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting the regenerated tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Print an artifact and persist it under results/."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print("=" * 72)
+        print(text)
+        print("=" * 72)
+        (results_dir / name).write_text(text + "\n", encoding="utf-8")
+
+    return _publish
+
+
+@pytest.fixture(scope="session")
+def table1():
+    """The full Table I campaign (the expensive artifact, ~1 minute)."""
+    from repro.testing.campaign import RobustnessCampaign
+
+    return RobustnessCampaign(seed=SEED).run_table1()
+
+
+@pytest.fixture(scope="session")
+def drive_logs():
+    """The synthetic real-vehicle drive (§IV-A substitution)."""
+    from repro.logs.vehicle_logs import generate_drive_logs
+
+    return generate_drive_logs(seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def long_trace():
+    """A long nominal HIL trace for throughput measurements."""
+    from repro.hil.simulator import HilSimulator
+    from repro.vehicle.scenario import steady_follow
+
+    return HilSimulator(steady_follow(300.0), seed=SEED).run().trace

@@ -1,0 +1,82 @@
+"""E7 — §V-B: specification complexity vs monitoring cost.
+
+The paper notes the simplicity/expressiveness trade-off "affects the
+efficiency of the monitor", whose ultimate goal is to keep up with the
+system in real time.  This bench measures the offline evaluator's
+throughput (trace rows per second) as rule complexity grows, plus the
+parser's cost — quantifying how much headroom the simple bounded logic
+leaves over the vehicle's 50 Hz data rate.
+"""
+
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.core.parser import parse_formula
+from repro.rules.safety_rules import paper_rules
+
+PROPOSITIONAL = "BrakeRequested -> RequestedDecel <= 0"
+SHORT_WINDOW = (
+    "Velocity > ACCSetSpeed -> eventually[0, 400ms] "
+    "not rising(RequestedTorque)"
+)
+LONG_WINDOW = (
+    "TargetRange / Velocity < 1.0 -> "
+    "eventually[0, 5s] TargetRange / Velocity > 1.0"
+)
+
+
+def make_monitor(formula: str) -> Monitor:
+    from repro.core.monitor import Rule
+
+    return Monitor([Rule.from_text("r", "perf", formula, gate="ACCEnabled")])
+
+
+@pytest.mark.parametrize(
+    "label,formula",
+    [
+        ("propositional", PROPOSITIONAL),
+        ("window-400ms", SHORT_WINDOW),
+        ("window-5s", LONG_WINDOW),
+    ],
+)
+def test_rule_complexity_throughput(benchmark, long_trace, label, formula):
+    monitor = make_monitor(formula)
+    view = long_trace.to_view(0.02, signals=monitor.required_signals())
+
+    result = benchmark(monitor.check_view, view)
+
+    rows = view.n_rows
+    seconds = benchmark.stats["mean"]
+    rows_per_second = rows / seconds
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["rows_per_second"] = round(rows_per_second)
+    benchmark.extra_info["realtime_factor"] = round(rows_per_second / 50.0)
+    # Even the widest window must beat the vehicle's 50 Hz data rate by
+    # a wide margin (the premise of eventually monitoring online).
+    assert rows_per_second > 50 * 20
+    assert "r" in result.letters()
+
+
+def test_full_rule_set_throughput(benchmark, long_trace, publish):
+    monitor = Monitor(paper_rules())
+    view = long_trace.to_view(0.02, signals=monitor.required_signals())
+    benchmark(monitor.check_view, view)
+    rows_per_second = view.n_rows / benchmark.stats["mean"]
+    publish(
+        "monitor_perf.txt",
+        "\n".join(
+            [
+                "SECTION V-B: MONITORING COST (all 7 rules)",
+                "%-36s %d" % ("trace rows", view.n_rows),
+                "%-36s %.0f" % ("rows checked per second", rows_per_second),
+                "%-36s %.0fx" % ("headroom over 50 Hz real time", rows_per_second / 50.0),
+            ]
+        ),
+    )
+    assert rows_per_second > 50 * 10
+
+
+def test_parser_cost(benchmark):
+    # Parsing is an offline, per-rule cost; it just needs to be trivial
+    # relative to evaluation.
+    benchmark(parse_formula, LONG_WINDOW)

@@ -1,0 +1,109 @@
+"""Authoring custom safety rules in the specification language.
+
+Shows the full vocabulary the paper's monitor supports:
+
+* arithmetic comparisons over broadcast signals,
+* bounded ``always`` / ``eventually`` windows,
+* the freshness-aware ``rising()`` trend (multi-rate safe),
+* a state machine gating a rule on modal state,
+* warm-up after activation jumps, and
+* intent filters on an otherwise too-strict rule.
+
+Run:  python examples/custom_rules.py
+"""
+
+from repro import Monitor, Rule, StateMachine, WarmupSpec
+from repro.core import DurationFilter, MagnitudeFilter, activation_warmup
+from repro.hil import HilSimulator
+from repro.vehicle import hard_brake_lead
+
+
+def build_rules():
+    # A jerk-comfort rule: requested deceleration must never exceed 5 m/s²
+    # in magnitude (comfort/controllability bound).
+    comfort = Rule.from_text(
+        rule_id="comfort",
+        name="Deceleration comfort bound",
+        formula="BrakeRequested -> RequestedDecel > -5.0",
+        gate="ACCEnabled",
+        initial_settle=0.5,
+    )
+
+    # Braking episodes must end: within 30 s of any brake request the
+    # brakes must be released at least momentarily.
+    release = Rule.from_text(
+        rule_id="release",
+        name="Brakes release eventually",
+        formula="BrakeRequested -> eventually[0, 30s] not BrakeRequested",
+        gate="ACCEnabled",
+        initial_settle=0.5,
+    )
+
+    # A multi-rate-safe trend rule with intent filters: sustained, large
+    # torque ramps while braking are contradictory.
+    contradiction = Rule.from_text(
+        rule_id="contradict",
+        name="No torque ramp while braking",
+        formula="BrakeRequested -> not rising(RequestedTorque, 5)",
+        gate="ACCEnabled",
+        warmup=activation_warmup("BrakeRequested", 0.2),
+        initial_settle=0.5,
+    ).relaxed(
+        MagnitudeFilter("delta(RequestedTorque)", 50.0),
+        DurationFilter(0.3),
+    )
+    return [comfort, release, contradiction]
+
+
+def build_machine():
+    # Modal state: track whether the ACC is in a braking episode, and
+    # require the episode to be entered from follow mode (not from idle).
+    return StateMachine(
+        name="episode",
+        states=("idle", "following", "braking"),
+        initial="idle",
+        transitions=(
+            ("idle", "following", "ACCEnabled and VehicleAhead"),
+            ("following", "braking", "BrakeRequested"),
+            ("braking", "following", "not BrakeRequested"),
+            ("following", "idle", "not ACCEnabled"),
+            ("braking", "idle", "not ACCEnabled"),
+        ),
+    )
+
+
+def main() -> None:
+    machine = build_machine()
+    # BrakeRequested and RequestedDecel travel in *different* CAN
+    # messages, so under jitter the decel value can arrive one monitor
+    # row before the flag (and before the machine enters 'braking').
+    # The rule therefore warms up briefly after each deceleration onset
+    # — the §V-C2 lesson applied to inter-message skew.
+    modal_rule = Rule.from_text(
+        rule_id="modal",
+        name="Decel only during braking episodes",
+        formula="in_state(episode, braking) or RequestedDecel >= -0.01",
+        gate="ACCEnabled",
+        warmup=WarmupSpec.parse(
+            "RequestedDecel < -0.01 and prev(RequestedDecel) >= -0.01", 0.1
+        ),
+        initial_settle=0.5,
+    )
+    monitor = Monitor(build_rules() + [modal_rule], machines=[machine])
+
+    print("driving the hard-braking-lead scenario...")
+    trace = HilSimulator(hard_brake_lead(), seed=3).run().trace
+
+    report = monitor.check(trace)
+    print()
+    print(report.summary())
+    print()
+    for rule_id in report.violated_rules():
+        for violation in report.results[rule_id].violations:
+            print("  %s" % violation)
+    if report.all_satisfied:
+        print("all custom rules satisfied on this trace")
+
+
+if __name__ == "__main__":
+    main()

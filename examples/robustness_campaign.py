@@ -1,0 +1,52 @@
+"""Robustness testing campaign — a slice of Table I.
+
+Runs the three single-signal injection tests (Ballista, random values,
+bit flips) against two signals: a control-critical one (TargetRange) and
+a quiet one (ThrotPos), reproducing the paper's core contrast — the
+unvalidated control inputs produce violations, the others do not.
+
+Run the full 32-row table instead with:
+    repro-oracle table1            (or python -m repro.cli table1)
+
+Run:  python examples/robustness_campaign.py
+"""
+
+from repro.rules import RULE_IDS
+from repro.testing import InjectionTest, RobustnessCampaign, Table1
+
+
+def main() -> None:
+    campaign = RobustnessCampaign(seed=2014)
+    tests = [
+        InjectionTest("Random TargetRange", "Random", ("TargetRange",)),
+        InjectionTest("Ballista TargetRange", "Ballista", ("TargetRange",)),
+        InjectionTest("Bitflips TargetRange", "Bitflips", ("TargetRange",)),
+        InjectionTest("Random ThrotPos", "Random", ("ThrotPos",)),
+        InjectionTest("Ballista ThrotPos", "Ballista", ("ThrotPos",)),
+        InjectionTest("Bitflips ThrotPos", "Bitflips", ("ThrotPos",)),
+    ]
+
+    table = Table1()
+    for test in tests:
+        print("running %-24s ..." % test.label, end=" ", flush=True)
+        outcome = campaign.run_test(test)
+        table.rows.append(outcome.to_row())
+        print(
+            "%s  (collisions: %d)"
+            % (
+                " ".join(outcome.letters[rule_id] for rule_id in RULE_IDS),
+                outcome.collisions,
+            )
+        )
+
+    print()
+    print(table.format(title="FAULT INJECTION RESULTS (excerpt)"))
+    print()
+    critical = any(row.any_violation for row in table.rows[:3])
+    quiet = all(not row.any_violation for row in table.rows[3:])
+    print("control-critical signal violated: %s" % critical)
+    print("quiet signal stayed clean:        %s" % quiet)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Real-vehicle log analysis and intent triage (§IV-A).
+
+Generates the synthetic "prototype vehicle" drive (hills, cut-ins,
+overtakes, stop-and-go — with sensor noise, no fault injection), checks
+the strict paper rules, and then re-checks with the relaxed variants that
+mechanize the paper's triage.  Strict rules #2/#3/#4 fire on normal
+driving dynamics; the relaxed rules dismiss those as not reflecting
+system intent.
+
+Run:  python examples/vehicle_log_analysis.py
+"""
+
+from repro import Monitor, paper_rules
+from repro.logs import generate_drive_logs
+from repro.rules import RULE_IDS
+
+
+def main() -> None:
+    strict = Monitor(paper_rules())
+    relaxed = Monitor(paper_rules(relaxed=True))
+
+    print("generating the representative drive (no injection)...")
+    logs = generate_drive_logs(seed=2014)
+
+    print()
+    print("%-26s %-9s %-9s" % ("scenario", "strict", "relaxed"))
+    for trace in logs:
+        strict_report = strict.check(trace)
+        relaxed_report = relaxed.check(trace)
+        print(
+            "%-26s %-9s %-9s"
+            % (
+                trace.name,
+                "".join(strict_report.letter(r) for r in RULE_IDS),
+                "".join(relaxed_report.letter(r) for r in RULE_IDS),
+            )
+        )
+        for rule_id in strict_report.violated_rules():
+            for violation in strict_report.results[rule_id].violations[:3]:
+                torque = violation.witness.get("RequestedTorque")
+                print(
+                    "    %s  [%s]%s"
+                    % (
+                        violation,
+                        rule_id,
+                        "" if torque is None else "  torque=%.1f Nm" % torque,
+                    )
+                )
+
+    print()
+    print(
+        "Rules 0/1/5/6 stay clean; rules 2/3/4 fire only on hill/cut-in\n"
+        "dynamics, and the relaxed (intent-filtered) variants dismiss them\n"
+        "— the paper's §IV-A finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

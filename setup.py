@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` to work
+on machines without the ``wheel`` package (PEP 660 editable installs need
+to build a wheel; the legacy ``setup.py develop`` path does not).  All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — monitor-based test oracles for cyber-physical systems.
+
+A full reproduction of Kane, Fuhrman and Koopman, *"Monitor Based Oracles
+for Cyber-Physical System Testing: Practical Experience Report"* (DSN
+2014): the bolt-on passive runtime monitor and its specification language
+(``repro.core``), the paper's seven safety rules (``repro.rules``), and
+every substrate the experiments need — a CAN network (``repro.can``), a
+longitudinal vehicle simulator (``repro.vehicle``), the non-robust FSRACC
+feature under test (``repro.acc``), a dSPACE-style HIL testbench
+(``repro.hil``), trace/log handling (``repro.logs``), and the robustness
+testing campaign that regenerates Table I (``repro.testing``).
+
+Quick start::
+
+    from repro import Monitor, TestOracle, paper_rules
+    from repro.hil import HilSimulator
+    from repro.vehicle import steady_follow
+
+    simulator = HilSimulator(steady_follow(60.0))
+    result = simulator.run()
+    oracle = TestOracle(Monitor(paper_rules()))
+    print(oracle.judge(result.trace).explain())
+"""
+
+from repro.core import (
+    Monitor,
+    MonitorReport,
+    OracleResult,
+    OracleVerdict,
+    Rule,
+    RuleResult,
+    StateMachine,
+    TestOracle,
+    Verdict,
+    Violation,
+    WarmupSpec,
+    parse_expr,
+    parse_formula,
+)
+from repro.errors import (
+    EvaluationError,
+    InjectionError,
+    ReproError,
+    SimulationError,
+    SpecError,
+    TraceError,
+)
+from repro.logs import Trace, TraceView, read_trace, write_trace
+from repro.rules import RULE_IDS, paper_rules, rules_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationError",
+    "InjectionError",
+    "Monitor",
+    "MonitorReport",
+    "OracleResult",
+    "OracleVerdict",
+    "RULE_IDS",
+    "ReproError",
+    "Rule",
+    "RuleResult",
+    "SimulationError",
+    "SpecError",
+    "StateMachine",
+    "TestOracle",
+    "Trace",
+    "TraceError",
+    "TraceView",
+    "Verdict",
+    "Violation",
+    "WarmupSpec",
+    "__version__",
+    "paper_rules",
+    "parse_expr",
+    "parse_formula",
+    "read_trace",
+    "rules_by_id",
+    "write_trace",
+]

@@ -1,0 +1,21 @@
+"""The FSRACC feature under test (Fig. 1 interface, modes, control law)."""
+
+from repro.acc.controller import AccParams, DEFAULT_TIME_GAP, FsraccController
+from repro.acc.interface import (
+    AccInputs,
+    AccOutputs,
+    FIG1_ROWS,
+    fig1_io_table,
+)
+from repro.acc.modes import AccMode
+
+__all__ = [
+    "AccInputs",
+    "AccMode",
+    "AccOutputs",
+    "AccParams",
+    "DEFAULT_TIME_GAP",
+    "FIG1_ROWS",
+    "FsraccController",
+    "fig1_io_table",
+]

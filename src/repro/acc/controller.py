@@ -1,0 +1,291 @@
+"""The FSRACC controller — the feature under test.
+
+This reproduces the *character* of the paper's third-party Full Speed
+Range Adaptive Cruise Control module: a placeholder-quality gap-and-speed
+controller with **no input robustness checking whatsoever**.  The paper's
+central finding (§IV) was that Velocity, TargetRange, TargetRelVel and
+ACCSetSpeed "are neither bounds checked (for exceptional inputs) nor
+consistency checked against each other", so corrupted values drive the
+control law directly.  This implementation is deliberately written the
+same way:
+
+* exceptional inputs (NaN, infinities, wild magnitudes) flow straight
+  into the control arithmetic;
+* the torque feedforward is computed from the *measured* velocity, so a
+  corrupted speed produces a wildly wrong torque command;
+* the gap-control branch is skipped whenever its arithmetic yields NaN
+  (a float comparison with NaN is false), silently dropping the very
+  protection that matters;
+* brake release holds ``BrakeRequested`` one extra cycle, so an abrupt
+  swing from hard braking to acceleration emits a single-cycle positive
+  ``RequestedDecel`` — the paper's most common Rule #5 violation.
+
+The only self-protection is a crude watchdog: if the commanded
+acceleration is non-finite for ~1 s the module trips to FAULT, asserts
+``ServiceACC`` and drops control (it never violates Rule #0).
+
+Do not "fix" this module: its bugs are the experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.acc.interface import AccInputs, AccOutputs
+from repro.acc.modes import AccMode
+from repro.can.fsracc import HEADWAY_TIME_GAPS
+
+#: Fallback headway time gap when the enum value is unknown, seconds.
+DEFAULT_TIME_GAP = 1.8
+
+
+@dataclass(frozen=True)
+class AccParams:
+    """Tuning of the FSRACC control law.
+
+    Attributes:
+        kp_speed: proportional speed gain, (m/s²) per (m/s) of error.
+        kd_speed: damping gain on measured acceleration, (m/s²)/(m/s²).
+        v_dot_filter_tau: low-pass time constant on the acceleration
+            estimate, seconds (differentiated wheel speed is noisy).
+        kg_gap: gap-error gain, (m/s²) per metre.
+        kv_rel: relative-velocity gain, (m/s²) per (m/s).
+        accel_max: strongest commanded acceleration, m/s².
+        accel_min: strongest commanded deceleration, m/s² (negative).
+        brake_deadband: decel threshold below which brakes engage, m/s².
+        brake_release: decel threshold above which brakes release, m/s²
+            (hysteresis against chattering at the deadband).
+        torque_slew: publication slew limit on the torque command, Nm/s.
+        follow_range: range within which gap control activates, m.
+        min_gap: smallest allowed desired gap, m.
+        stop_speed_threshold: lead speed below which stop-distance
+            control takes over, m/s (full-speed-range behaviour).
+        stop_range: range within which stop-distance control applies, m.
+        stop_margin: desired standstill distance behind the target, m.
+        torque_per_accel: wheel torque per unit acceleration, Nm/(m/s²).
+        torque_max: engine torque command ceiling, Nm.
+        torque_min: engine-braking torque command floor, Nm.
+        drag_c0/drag_c1/drag_c2: nominal drag model for feedforward.
+        wheel_radius: nominal wheel radius for feedforward, m.
+        accel_override_pct: pedal position above which the driver's foot
+            suspends ACC requests, percent.
+        brake_override_bar: pedal pressure above which ACC disengages, bar.
+        fault_trip_cycles: consecutive non-finite cycles before FAULT.
+        fault_clear_cycles: consecutive finite cycles before recovery.
+    """
+
+    kp_speed: float = 0.40
+    kd_speed: float = 0.25
+    v_dot_filter_tau: float = 0.4
+    kg_gap: float = 0.08
+    kv_rel: float = 0.45
+    accel_max: float = 2.0
+    accel_min: float = -3.5
+    brake_deadband: float = 0.35
+    brake_release: float = 0.15
+    torque_slew: float = 800.0
+    follow_range: float = 120.0
+    min_gap: float = 5.0
+    stop_speed_threshold: float = 2.0
+    stop_range: float = 25.0
+    stop_margin: float = 3.0
+    torque_per_accel: float = 512.0
+    torque_max: float = 3000.0
+    torque_min: float = -600.0
+    drag_c0: float = 160.0
+    drag_c1: float = 2.0
+    drag_c2: float = 0.42
+    wheel_radius: float = 0.32
+    accel_override_pct: float = 15.0
+    brake_override_bar: float = 3.0
+    fault_trip_cycles: int = 50
+    fault_clear_cycles: int = 100
+
+
+class FsraccController:
+    """Placeholder-quality FSRACC module (see module docstring)."""
+
+    def __init__(self, params: AccParams = AccParams()) -> None:
+        self.params = params
+        self.mode = AccMode.OFF
+        self._prev_velocity = None
+        self._v_dot_filtered = 0.0
+        self._prev_brake_demand = False
+        self._prev_torque = 0.0
+        self._nonfinite_cycles = 0
+        self._finite_cycles = 0
+
+    def reset(self) -> None:
+        """Return the module to its power-on state."""
+        self.mode = AccMode.OFF
+        self._prev_velocity = None
+        self._v_dot_filtered = 0.0
+        self._prev_brake_demand = False
+        self._prev_torque = 0.0
+        self._nonfinite_cycles = 0
+        self._finite_cycles = 0
+
+    def step(self, dt: float, inputs: AccInputs) -> AccOutputs:
+        """Run one control cycle and return the output signals."""
+        self._update_mode(inputs)
+        desired_accel = self._desired_accel(dt, inputs)
+        self._track_watchdog(desired_accel)
+
+        if self.mode is not AccMode.ENGAGED:
+            self._prev_brake_demand = False
+            return AccOutputs(service_acc=self.mode is AccMode.FAULT)
+
+        if inputs.accel_ped_pos > self.params.accel_override_pct:
+            # Driver's foot on the accelerator: requests suspended but
+            # the feature stays engaged.
+            self._prev_brake_demand = False
+            return AccOutputs(acc_enabled=True)
+
+        # Brake engage/release hysteresis against deadband chatter.
+        if self._prev_brake_demand:
+            brake_demand = desired_accel < -self.params.brake_release
+        else:
+            brake_demand = desired_accel < -self.params.brake_deadband
+        # One-cycle release hold: an abrupt negative-to-positive swing of
+        # desired_accel leaves BrakeRequested asserted for one cycle with
+        # a positive RequestedDecel (the paper's Rule #5 transient).
+        brake_requested = brake_demand or self._prev_brake_demand
+        self._prev_brake_demand = brake_demand
+        requested_decel = desired_accel if brake_requested else 0.0
+        torque_requested = not brake_demand
+        return AccOutputs(
+            acc_enabled=True,
+            brake_requested=brake_requested,
+            torque_requested=torque_requested,
+            requested_torque=self._torque_command(
+                dt, desired_accel, inputs.velocity
+            ),
+            requested_decel=requested_decel,
+            service_acc=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _update_mode(self, inputs: AccInputs) -> None:
+        p = self.params
+        if self.mode is AccMode.FAULT:
+            if self._finite_cycles >= p.fault_clear_cycles:
+                self.mode = AccMode.STANDBY
+                self._nonfinite_cycles = 0
+                self._finite_cycles = 0
+            return
+        if self._nonfinite_cycles >= p.fault_trip_cycles:
+            self.mode = AccMode.FAULT
+            return
+        # Engagement follows the driver's on/off switch.  The set speed
+        # itself is deliberately unchecked: a huge, tiny or negative
+        # ACCSetSpeed sails straight into the control law (§IV's missing
+        # bounds checking).
+        wants_control = bool(inputs.acc_active)
+        brake_override = inputs.brake_ped_pres > p.brake_override_bar
+        if wants_control and not brake_override:
+            self.mode = AccMode.ENGAGED
+        elif wants_control:
+            self.mode = AccMode.STANDBY
+        else:
+            self.mode = AccMode.OFF
+
+    def _desired_accel(self, dt: float, inputs: AccInputs) -> float:
+        p = self.params
+        speed_error = inputs.acc_set_speed - inputs.velocity
+        # Crude acceleration estimate: differentiated wheel speed run
+        # through a first-order low-pass (the raw difference is noisy).
+        # Unvalidated: a velocity discontinuity (fault) produces a wild,
+        # slowly-decaying spike here.
+        if self._prev_velocity is None:
+            self._prev_velocity = inputs.velocity
+        v_dot_raw = (inputs.velocity - self._prev_velocity) / dt
+        self._prev_velocity = inputs.velocity
+        alpha = dt / (p.v_dot_filter_tau + dt)
+        blended = self._v_dot_filtered + alpha * (v_dot_raw - self._v_dot_filtered)
+        if math.isfinite(blended):
+            self._v_dot_filtered = blended
+        v_dot = blended
+        accel = p.kp_speed * speed_error - p.kd_speed * v_dot
+        # Never command a positive acceleration while above set speed.
+        if speed_error < 0 and accel > 0:
+            accel = 0.0
+        gap_active = False
+        if inputs.vehicle_ahead and inputs.target_range < p.follow_range:
+            desired_gap = self._time_gap(inputs.sel_headway) * inputs.velocity
+            if desired_gap < p.min_gap:
+                desired_gap = p.min_gap
+            gap_accel = (
+                p.kg_gap * (inputs.target_range - desired_gap)
+                + p.kv_rel * inputs.target_rel_vel
+            )
+            # NOTE: a NaN gap_accel fails this comparison, silently
+            # dropping gap control — the missing consistency check the
+            # paper calls out.
+            if gap_accel < accel:
+                accel = gap_accel
+                gap_active = True
+            # Full-speed-range stop-distance control: behind a (nearly)
+            # stopped target, brake to a standstill a few metres short.
+            lead_speed = inputs.velocity + inputs.target_rel_vel
+            if (
+                lead_speed < p.stop_speed_threshold
+                and inputs.target_range < p.stop_range
+            ):
+                margin = inputs.target_range - p.stop_margin
+                if margin < 0.5:
+                    margin = 0.5
+                stop_accel = -(inputs.velocity * inputs.velocity) / (2.0 * margin)
+                if stop_accel < accel:
+                    accel = stop_accel
+                    gap_active = True
+        if accel > p.accel_max:
+            accel = p.accel_max
+        elif accel < p.accel_min:
+            accel = p.accel_min
+        return accel
+
+    def _torque_command(
+        self, dt: float, desired_accel: float, velocity: float
+    ) -> float:
+        p = self.params
+        # Feedforward from the *measured* velocity, unvalidated: a
+        # corrupted speed produces a wildly wrong torque command.
+        feedforward = (
+            p.drag_c0 + p.drag_c1 * velocity + p.drag_c2 * velocity * velocity
+        ) * p.wheel_radius
+        torque = p.torque_per_accel * desired_accel + feedforward
+        if torque > p.torque_max:
+            torque = p.torque_max
+        elif torque < p.torque_min:
+            torque = p.torque_min
+        # Slew-limit the published command, as the engine controller
+        # interface requires.  A non-finite command passes through (and
+        # the slew state holds the last finite value for recovery).
+        if math.isfinite(torque) and math.isfinite(self._prev_torque):
+            max_step = p.torque_slew * dt
+            if torque > self._prev_torque + max_step:
+                torque = self._prev_torque + max_step
+            elif torque < self._prev_torque - max_step:
+                torque = self._prev_torque - max_step
+        if math.isfinite(torque):
+            # Torque commands publish at a 0.25 Nm resolution, like any
+            # scaled CAN command signal.
+            torque = round(torque * 4.0) / 4.0
+            self._prev_torque = torque
+        return torque
+
+    def _track_watchdog(self, desired_accel: float) -> None:
+        if math.isfinite(desired_accel):
+            self._finite_cycles += 1
+            self._nonfinite_cycles = 0
+        else:
+            self._nonfinite_cycles += 1
+            self._finite_cycles = 0
+
+    @staticmethod
+    def _time_gap(sel_headway: int) -> float:
+        return HEADWAY_TIME_GAPS.get(sel_headway, DEFAULT_TIME_GAP)

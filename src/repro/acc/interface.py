@@ -1,0 +1,111 @@
+"""FSRACC module I/O — the signal interface of Figure 1.
+
+The controller is tested as a black box: everything it consumes and
+produces goes through these two structures, whose fields correspond
+one-to-one to the paper's Figure 1 signal list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
+
+#: (name, direction, type) rows exactly as printed in the paper's Fig. 1.
+FIG1_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("Velocity", "Input", "float"),
+    ("AccelPedPos", "Input", "float"),
+    ("BrakePedPres", "Input", "float"),
+    ("ACCSetSpeed", "Input", "float"),
+    ("ThrotPos", "Input", "float"),
+    ("VehicleAhead", "Input", "boolean"),
+    ("TargetRange", "Input", "float"),
+    ("TargetRelVel", "Input", "float"),
+    ("SelHeadway", "Input", "float"),
+    ("ACCEnabled", "Output", "boolean"),
+    ("BrakeRequested", "Output", "boolean"),
+    ("TorqueRequested", "Output", "boolean"),
+    ("RequestedTorque", "Output", "float"),
+    ("RequestedDecel", "Output", "float"),
+    ("ServiceACC", "Output", "boolean"),
+)
+
+
+@dataclass
+class AccInputs:
+    """The nine FSRACC input signals.
+
+    Attributes:
+        velocity: forward speed of the vehicle, m/s.
+        accel_ped_pos: accelerator pedal position, percent (0–100).
+        brake_ped_pres: driver brake pedal pressure, bar.
+        acc_set_speed: commanded cruising speed, m/s (0 = feature off).
+        throt_pos: throttle opening, percent.
+        vehicle_ahead: whether a target is detected ahead in the lane.
+        target_range: distance to the vehicle ahead, m (0 when none).
+        target_rel_vel: relative velocity, lead minus ego, m/s
+            (negative = closing).
+        sel_headway: selected headway enum (1 short, 2 medium, 3 long).
+        acc_active: driver cruise on/off switch (not in Fig. 1's list of
+            signals of interest — injecting it just cancels the feature).
+    """
+
+    velocity: float = 0.0
+    accel_ped_pos: float = 0.0
+    brake_ped_pres: float = 0.0
+    acc_set_speed: float = 0.0
+    throt_pos: float = 0.0
+    vehicle_ahead: bool = False
+    target_range: float = 0.0
+    target_rel_vel: float = 0.0
+    sel_headway: int = 2
+    acc_active: bool = False
+
+    @classmethod
+    def from_signals(cls, values: Dict[str, float]) -> "AccInputs":
+        """Build inputs from a CAN signal-name dictionary."""
+        return cls(
+            acc_active=bool(values.get("AccActive", False)),
+            velocity=float(values.get("Velocity", 0.0)),
+            accel_ped_pos=float(values.get("AccelPedPos", 0.0)),
+            brake_ped_pres=float(values.get("BrakePedPres", 0.0)),
+            acc_set_speed=float(values.get("ACCSetSpeed", 0.0)),
+            throt_pos=float(values.get("ThrotPos", 0.0)),
+            vehicle_ahead=bool(values.get("VehicleAhead", False)),
+            target_range=float(values.get("TargetRange", 0.0)),
+            target_rel_vel=float(values.get("TargetRelVel", 0.0)),
+            sel_headway=int(values.get("SelHeadway", 2)),
+        )
+
+
+@dataclass
+class AccOutputs:
+    """The six FSRACC output signals.
+
+    ``requested_torque`` and ``requested_decel`` carry the controller's
+    computed commands at all times; the boolean request flags say whether
+    the engine / brake controllers should act on them.  (The monitor sees
+    the values regardless — which is exactly what Rules #2–#5 check.)
+    """
+
+    acc_enabled: bool = False
+    brake_requested: bool = False
+    torque_requested: bool = False
+    requested_torque: float = 0.0
+    requested_decel: float = 0.0
+    service_acc: bool = False
+
+    def to_signals(self) -> Dict[str, float]:
+        """Flatten outputs to a CAN signal-name dictionary."""
+        return {
+            "ACCEnabled": self.acc_enabled,
+            "BrakeRequested": self.brake_requested,
+            "TorqueRequested": self.torque_requested,
+            "RequestedTorque": self.requested_torque,
+            "RequestedDecel": self.requested_decel,
+            "ServiceACC": self.service_acc,
+        }
+
+
+def fig1_io_table() -> Tuple[Tuple[str, str, str], ...]:
+    """The Figure 1 I/O inventory (name, direction, type)."""
+    return FIG1_ROWS

@@ -1,0 +1,27 @@
+"""FSRACC operating modes.
+
+A small mode machine of the kind the paper's specification language
+encodes with state machines: the feature is OFF until the driver dials a
+set speed, STANDBY while the driver overrides with the brake, ENGAGED
+while in control, and FAULT when its (minimal) self-check trips —
+asserting ``ServiceACC`` and relinquishing control, which is what
+Rule #0 verifies.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccMode(enum.Enum):
+    """Operating mode of the FSRACC feature."""
+
+    OFF = "off"
+    STANDBY = "standby"
+    ENGAGED = "engaged"
+    FAULT = "fault"
+
+    @property
+    def in_control(self) -> bool:
+        """Whether the feature claims control authority in this mode."""
+        return self is AccMode.ENGAGED

@@ -1,0 +1,83 @@
+"""CAN substrate: frames, signals, codec, message database, broadcast bus.
+
+This package provides the observability layer the paper's monitor depends
+on — a broadcast vehicle network that periodically carries system state.
+"""
+
+from repro.can.bus import CanBus, JitterModel
+from repro.can.codec import (
+    decode_signal,
+    encode_signal,
+    extract_raw,
+    flip_bits,
+    insert_raw,
+    physical_to_raw,
+    raw_to_physical,
+    values_equal,
+)
+from repro.can.database import CanDatabase, MessageDef
+from repro.can.dbcio import (
+    dump_database,
+    dumps_database,
+    load_database,
+    loads_database,
+)
+from repro.can.errors import (
+    BusError,
+    CanError,
+    CodecError,
+    DatabaseError,
+    FrameError,
+    SignalError,
+)
+from repro.can.frame import CanFrame, MAX_DLC, MAX_EXTENDED_ID, MAX_STANDARD_ID
+from repro.can.fsracc import (
+    FAST_PERIOD,
+    FSRACC_INPUTS,
+    FSRACC_OUTPUTS,
+    HEADWAY_LABELS,
+    HEADWAY_TIME_GAPS,
+    SLOW_PERIOD,
+    fsracc_database,
+)
+from repro.can.signal import ByteOrder, SignalDef, SignalType, SignalValue
+
+__all__ = [
+    "BusError",
+    "ByteOrder",
+    "CanBus",
+    "CanDatabase",
+    "CanError",
+    "CanFrame",
+    "CodecError",
+    "DatabaseError",
+    "FAST_PERIOD",
+    "FSRACC_INPUTS",
+    "FSRACC_OUTPUTS",
+    "FrameError",
+    "HEADWAY_LABELS",
+    "HEADWAY_TIME_GAPS",
+    "JitterModel",
+    "MAX_DLC",
+    "MAX_EXTENDED_ID",
+    "MAX_STANDARD_ID",
+    "MessageDef",
+    "SLOW_PERIOD",
+    "SignalDef",
+    "SignalError",
+    "SignalType",
+    "SignalValue",
+    "decode_signal",
+    "dump_database",
+    "dumps_database",
+    "encode_signal",
+    "extract_raw",
+    "flip_bits",
+    "fsracc_database",
+    "insert_raw",
+    "load_database",
+    "loads_database",
+    "physical_to_raw",
+    "raw_to_physical",
+    "values_equal",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the CAN substrate.
+
+All CAN-layer failures derive from :class:`CanError` so callers can catch
+one exception type at the subsystem boundary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class CanError(ReproError):
+    """Base class for all CAN-layer errors."""
+
+
+class FrameError(CanError):
+    """Raised for malformed CAN frames (bad identifier, oversized payload)."""
+
+
+class SignalError(CanError):
+    """Raised for invalid signal definitions or out-of-frame bit layouts."""
+
+
+class CodecError(CanError):
+    """Raised when a value cannot be encoded into, or decoded from, a frame."""
+
+
+class DatabaseError(CanError):
+    """Raised for message-database inconsistencies (duplicate ids, unknown
+    messages or signals, overlapping signal layouts)."""
+
+
+class BusError(CanError):
+    """Raised for broadcast-bus misuse (unknown publisher, bad period)."""

@@ -1,0 +1,220 @@
+"""The FSRACC vehicle network — the concrete message set from the paper.
+
+Figure 1 of the paper lists the FSRACC module's inputs and outputs.  This
+module lays those signals out on a CAN network with two broadcast periods:
+a fast period and a slow period four times longer, reproducing the
+multi-rate sampling situation of Section V-C1 (the paper's example of a
+slow signal is ``RequestedTorque``).
+"""
+
+from __future__ import annotations
+
+from repro.can.database import CanDatabase, MessageDef
+from repro.can.signal import SignalDef, SignalType
+
+#: Fast broadcast period (seconds) — most messages.
+FAST_PERIOD = 0.02
+#: Slow broadcast period (seconds) — four times the fast period (§V-C1).
+SLOW_PERIOD = 0.08
+
+#: Headway selector labels (enum values are positive integers, per §III-A).
+HEADWAY_LABELS = {1: "SHORT", 2: "MEDIUM", 3: "LONG"}
+
+#: Selected headway enum value -> target time gap in seconds.
+HEADWAY_TIME_GAPS = {1: 1.2, 2: 1.8, 3: 2.4}
+
+#: The nine FSRACC input signals of interest (Fig. 1), in the paper's order.
+FSRACC_INPUTS = (
+    "Velocity",
+    "AccelPedPos",
+    "BrakePedPres",
+    "ACCSetSpeed",
+    "ThrotPos",
+    "VehicleAhead",
+    "TargetRange",
+    "TargetRelVel",
+    "SelHeadway",
+)
+
+#: Every signal the FSRACC consumes, including the disregarded on/off
+#: switch (see Fig. 1 discussion: inputs that "immediately cancelled
+#: cruise control" were not robustness-tested).
+FSRACC_ALL_INPUTS = FSRACC_INPUTS + ("AccActive",)
+
+#: The six FSRACC output signals (Fig. 1), in the paper's order.
+FSRACC_OUTPUTS = (
+    "ACCEnabled",
+    "BrakeRequested",
+    "TorqueRequested",
+    "RequestedTorque",
+    "RequestedDecel",
+    "ServiceACC",
+)
+
+
+def _f(name, start_bit, unit, minimum, maximum, comment=""):
+    return SignalDef(
+        name=name,
+        start_bit=start_bit,
+        bit_length=32,
+        kind=SignalType.FLOAT,
+        unit=unit,
+        minimum=minimum,
+        maximum=maximum,
+        comment=comment,
+    )
+
+
+def _b(name, start_bit, comment=""):
+    return SignalDef(
+        name=name,
+        start_bit=start_bit,
+        bit_length=1,
+        kind=SignalType.BOOL,
+        comment=comment,
+    )
+
+
+def fsracc_database() -> CanDatabase:
+    """Build the message database for the FSRACC test vehicle.
+
+    Input messages are produced by the rest of the vehicle (plant sensors,
+    driver controls, forward radar); output messages are produced by the
+    FSRACC module itself.  ``AccTorqueCmd`` and ``AccSettings`` broadcast
+    on the slow period.
+    """
+    messages = [
+        MessageDef(
+            name="VehicleMotion",
+            can_id=0x100,
+            length=8,
+            period=FAST_PERIOD,
+            sender="chassis",
+            comment="Ego vehicle longitudinal state.",
+            signals=(
+                _f("Velocity", 0, "m/s", -10.0, 120.0,
+                   "Forward speed of the vehicle."),
+            ),
+        ),
+        MessageDef(
+            name="PedalStatus",
+            can_id=0x110,
+            length=8,
+            period=FAST_PERIOD,
+            sender="body",
+            comment="Driver pedal inputs.",
+            signals=(
+                _f("AccelPedPos", 0, "%", 0.0, 100.0,
+                   "Accelerator pedal position, 0 released to 100 floored."),
+                _f("BrakePedPres", 32, "bar", 0.0, 250.0,
+                   "Brake pedal pressure applied by the driver."),
+            ),
+        ),
+        MessageDef(
+            name="ThrottleStatus",
+            can_id=0x118,
+            length=8,
+            period=FAST_PERIOD,
+            sender="powertrain",
+            comment="Throttle actuator feedback.",
+            signals=(
+                _f("ThrotPos", 0, "%", 0.0, 100.0,
+                   "Throttle opening as a percentage."),
+            ),
+        ),
+        MessageDef(
+            name="AccSettings",
+            can_id=0x120,
+            length=8,
+            period=SLOW_PERIOD,
+            sender="body",
+            comment="Driver-commanded cruise settings (slow period).",
+            signals=(
+                _f("ACCSetSpeed", 0, "m/s", 0.0, 60.0,
+                   "Commanded cruising speed."),
+                SignalDef(
+                    name="SelHeadway",
+                    start_bit=32,
+                    bit_length=3,
+                    kind=SignalType.ENUM,
+                    enum_labels=HEADWAY_LABELS,
+                    minimum=1,
+                    maximum=3,
+                    comment="Selected headway distance to the preceding car.",
+                ),
+                _b("AccActive", 40,
+                   "Driver cruise on/off switch. One of the FSRACC inputs "
+                   "the paper disregarded for testing (injecting it just "
+                   "cancels cruise control)."),
+            ),
+        ),
+        MessageDef(
+            name="TargetTrack",
+            can_id=0x130,
+            length=8,
+            period=FAST_PERIOD,
+            sender="radar",
+            comment="Forward target detection and range.",
+            signals=(
+                _b("VehicleAhead", 0,
+                   "Whether a vehicle is detected ahead in the lane."),
+                _f("TargetRange", 32, "m", 0.0, 250.0,
+                   "Distance to the vehicle ahead (0 when none)."),
+            ),
+        ),
+        MessageDef(
+            name="TargetKinematics",
+            can_id=0x138,
+            length=8,
+            period=FAST_PERIOD,
+            sender="radar",
+            comment="Forward target relative motion.",
+            signals=(
+                _f("TargetRelVel", 0, "m/s", -80.0, 80.0,
+                   "Relative velocity (lead minus ego; negative = closing)."),
+            ),
+        ),
+        MessageDef(
+            name="AccStatus",
+            can_id=0x200,
+            length=8,
+            period=FAST_PERIOD,
+            sender="fsracc",
+            comment="FSRACC engagement and request flags.",
+            signals=(
+                _b("ACCEnabled", 0,
+                   "Whether the ACC believes it controls the vehicle."),
+                _b("BrakeRequested", 1,
+                   "True when the ACC requests a deceleration."),
+                _b("TorqueRequested", 2,
+                   "True when the ACC requests additional engine torque."),
+                _b("ServiceACC", 3,
+                   "Error flag alerting the driver of a detected fault."),
+            ),
+        ),
+        MessageDef(
+            name="AccTorqueCmd",
+            can_id=0x210,
+            length=8,
+            period=SLOW_PERIOD,
+            sender="fsracc",
+            comment="Torque request to the engine controller (slow period).",
+            signals=(
+                _f("RequestedTorque", 0, "Nm", -2000.0, 3000.0,
+                   "Additional wheel torque the engine should provide."),
+            ),
+        ),
+        MessageDef(
+            name="AccBrakeCmd",
+            can_id=0x218,
+            length=8,
+            period=FAST_PERIOD,
+            sender="fsracc",
+            comment="Deceleration request to the brake controller.",
+            signals=(
+                _f("RequestedDecel", 0, "m/s^2", -12.0, 12.0,
+                   "Requested deceleration for the brake controller."),
+            ),
+        ),
+    ]
+    return CanDatabase(messages)

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Entry point ``repro-oracle`` with subcommands:
+
+* ``rules`` — list the safety rules and their formulas;
+* ``simulate`` — run one HIL scenario and write the captured trace;
+* ``check`` — run the monitor over a stored trace file;
+* ``drive`` — generate the synthetic real-vehicle drive logs;
+* ``table1`` — run the robustness campaign and print Table I.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.monitor import Monitor
+from repro.core.oracle import TestOracle
+from repro.hil.simulator import HilSimulator
+from repro.logs.format import read_trace, write_trace
+from repro.logs.vehicle_logs import generate_drive_logs
+from repro.rules.safety_rules import paper_rules
+from repro.testing.campaign import RobustnessCampaign, single_signal_tests
+from repro.vehicle.scenario import STANDARD_SCENARIOS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-oracle",
+        description="Monitor-based test oracles for CPS testing (DSN 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    rules_cmd = sub.add_parser("rules", help="list the safety rules")
+    rules_cmd.add_argument(
+        "--relaxed", action="store_true", help="show the relaxed variants"
+    )
+    rules_cmd.add_argument(
+        "--export", default=None, help="write the rule set to a .rules file"
+    )
+    rules_cmd.set_defaults(handler=_cmd_rules)
+
+    sim_cmd = sub.add_parser("simulate", help="run one HIL scenario")
+    sim_cmd.add_argument(
+        "scenario", choices=sorted(STANDARD_SCENARIOS), help="scenario name"
+    )
+    sim_cmd.add_argument("--duration", type=float, default=None)
+    sim_cmd.add_argument("--seed", type=int, default=0)
+    sim_cmd.add_argument("--out", default=None, help="trace output file")
+    sim_cmd.set_defaults(handler=_cmd_simulate)
+
+    check_cmd = sub.add_parser("check", help="check a stored trace file")
+    check_cmd.add_argument("trace", help="trace file written by this tool")
+    check_cmd.add_argument("--relaxed", action="store_true")
+    check_cmd.add_argument("--period", type=float, default=0.02)
+    check_cmd.add_argument(
+        "--coverage",
+        action="store_true",
+        help="also print monitoring coverage (gate/premise exercise)",
+    )
+    check_cmd.add_argument(
+        "--rules",
+        default=None,
+        help="check a custom .rules file instead of the paper rules",
+    )
+    check_cmd.set_defaults(handler=_cmd_check)
+
+    drive_cmd = sub.add_parser(
+        "drive", help="generate the synthetic real-vehicle drive and check it"
+    )
+    drive_cmd.add_argument("--seed", type=int, default=0)
+    drive_cmd.add_argument("--out-dir", default=None, help="write trace files here")
+    drive_cmd.set_defaults(handler=_cmd_drive)
+
+    online_cmd = sub.add_parser(
+        "online", help="stream a stored trace through the online monitor"
+    )
+    online_cmd.add_argument("trace", help="trace file written by this tool")
+    online_cmd.add_argument("--relaxed", action="store_true")
+    online_cmd.add_argument("--period", type=float, default=0.02)
+    online_cmd.set_defaults(handler=_cmd_online)
+
+    repro_cmd = sub.add_parser(
+        "reproduce",
+        help="regenerate the paper's core results and judge the reproduction",
+    )
+    repro_cmd.add_argument("--seed", type=int, default=2014)
+    repro_cmd.add_argument(
+        "--quick", action="store_true",
+        help="single-signal Table I rows only (about 3x faster)",
+    )
+    repro_cmd.add_argument("--out", default=None, help="write the report here")
+    repro_cmd.set_defaults(handler=_cmd_reproduce)
+
+    table_cmd = sub.add_parser(
+        "table1", help="run the robustness campaign and print Table I"
+    )
+    table_cmd.add_argument("--seed", type=int, default=2014)
+    table_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="single-signal rows only (about a third of the full runtime)",
+    )
+    table_cmd.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    if args.export:
+        from repro.core.specfile import SpecSet, dump_specs
+
+        dump_specs(SpecSet(rules=paper_rules(relaxed=args.relaxed)), args.export)
+        print("rule set written to %s" % args.export)
+        return 0
+    for rule in paper_rules(relaxed=args.relaxed):
+        print("%s  %s" % (rule.rule_id, rule.name))
+        print("    formula: %s" % rule.formula)
+        if rule.gate is not None:
+            print("    gate:    %s" % rule.gate)
+        for intent_filter in rule.filters:
+            print("    filter:  %s" % intent_filter.describe())
+        if rule.description:
+            print("    %s" % rule.description)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = STANDARD_SCENARIOS[args.scenario]
+    simulator = HilSimulator(scenario, seed=args.seed)
+    result = simulator.run(args.duration)
+    print(
+        "simulated %.1f s: %d frames, %d collisions, min gap %.1f m"
+        % (result.duration, result.frames_sent, result.collisions, result.min_gap)
+    )
+    if args.out:
+        write_trace(result.trace, args.out)
+        print("trace written to %s" % args.out)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    if args.rules:
+        from repro.core.specfile import load_specs
+
+        monitor = load_specs(args.rules).monitor(period=args.period)
+    else:
+        monitor = Monitor(paper_rules(relaxed=args.relaxed), period=args.period)
+    oracle = TestOracle(monitor)
+    outcome = oracle.judge(trace)
+    print(outcome.report.summary())
+    print()
+    print(outcome.explain())
+    if args.coverage:
+        from repro.core.coverage import coverage_report
+
+        print()
+        print(coverage_report(monitor, trace).summary())
+    return 1 if outcome.failed else 0
+
+
+def _cmd_drive(args: argparse.Namespace) -> int:
+    monitor = Monitor(paper_rules())
+    relaxed = Monitor(paper_rules(relaxed=True))
+    failed = False
+    for trace in generate_drive_logs(seed=args.seed):
+        strict_report = monitor.check(trace)
+        relaxed_report = relaxed.check(trace)
+        print(
+            "%-26s strict=%s relaxed=%s"
+            % (
+                trace.name,
+                "".join(strict_report.letters()[rid] for rid in sorted(strict_report.letters())),
+                "".join(relaxed_report.letters()[rid] for rid in sorted(relaxed_report.letters())),
+            )
+        )
+        failed |= not relaxed_report.all_satisfied
+        if args.out_dir:
+            path = "%s/%s.csv" % (args.out_dir, trace.name.replace(":", "_"))
+            write_trace(trace, path)
+            print("  written to %s" % path)
+    return 1 if failed else 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from repro.core.online import OnlineMonitor
+
+    trace = read_trace(args.trace)
+    online = OnlineMonitor(
+        paper_rules(relaxed=args.relaxed), period=args.period
+    )
+    print(
+        "streaming %d events (decision latency bound %.2f s)..."
+        % (trace.update_count(), online.decision_latency)
+    )
+    for violation in online.feed_trace(trace):
+        print("  LIVE %s" % violation)
+    report = online.finish(trace_name=trace.name)
+    print()
+    print(report.summary())
+    return 1 if report.violated_rules() else 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.testing.reproducer import reproduce
+
+    result = reproduce(
+        seed=args.seed,
+        quick=args.quick,
+        progress=lambda stage, detail: print(
+            "[%s] %s" % (stage, detail), flush=True
+        ),
+    )
+    print()
+    print(result.report())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.report() + "\n")
+        print("\nreport written to %s" % args.out)
+    return 0 if result.ok else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    campaign = RobustnessCampaign(seed=args.seed)
+    tests = single_signal_tests() if args.quick else None
+
+    def progress(test, outcome):
+        letters = " ".join(
+            outcome.letters[rid] for rid in sorted(outcome.letters)
+        )
+        print("%-28s %s" % (test.label, letters), flush=True)
+
+    table = campaign.run_table1(tests=tests, progress=progress)
+    print()
+    print(table.format())
+    print()
+    print(table.shape_summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,394 @@
+"""Abstract syntax of the specification language.
+
+The language is the one the paper describes (§III): "a simplified bounded
+temporal logic loosely based on MTL", with "the usual boolean connectives,
+arithmetic comparisons, and two bounded temporal operators (always and
+eventually)", combined with state machines for mode-based state (§V-B) —
+nesting of temporal operators is avoided by moving modal state into the
+machines.
+
+Two node families exist:
+
+* **expressions** evaluate to a number per trace row (signal references,
+  arithmetic, and trace-aware functions such as ``delta`` and ``rate``);
+* **formulas** evaluate to a three-valued verdict per trace row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of numeric expressions."""
+
+    def signals(self) -> Tuple[str, ...]:
+        """Names of all signals this expression references."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Constant(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SignalRef(Expr):
+    """The held value of a signal at the current row."""
+
+    name: str
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary arithmetic: ``-e`` or ``abs(e)``."""
+
+    op: str  # "-" | "abs"
+    operand: Expr
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def __str__(self) -> str:
+        if self.op == "-":
+            return "-%s" % (self.operand,)
+        return "%s(%s)" % (self.op, self.operand)
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary arithmetic: ``+ - * /`` and two-argument ``min``/``max``."""
+
+    op: str  # "+" | "-" | "*" | "/" | "min" | "max"
+    left: Expr
+    right: Expr
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max"):
+            return "%s(%s, %s)" % (self.op, self.left, self.right)
+        return "(%s %s %s)" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class TraceFunc(Expr):
+    """A trace-aware function of one signal.
+
+    ``kind`` is one of:
+
+    * ``delta`` — freshness-aware difference between the two most recent
+      fresh samples (the §V-C1 multi-rate fix), held between updates;
+    * ``delta_naive`` — naive held-value difference between consecutive
+      rows (kept for the E4 ablation);
+    * ``rate`` — freshness-aware difference per second;
+    * ``prev`` — the held value at the previous row;
+    * ``age`` — rows elapsed since the signal was last fresh.
+    """
+
+    kind: str
+    signal: str
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.signal,)
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.kind, self.signal)
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of three-valued formulas."""
+
+    def signals(self) -> Tuple[str, ...]:
+        """Names of all signals this formula references."""
+        return ()
+
+    def machines(self) -> Tuple[str, ...]:
+        """Names of all state machines this formula references."""
+        return ()
+
+    def has_temporal(self) -> bool:
+        """Whether this formula contains a temporal operator."""
+        return False
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    """``true`` or ``false``."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class SignalPredicate(Formula):
+    """A boolean signal used as an atom (true when its value is nonzero)."""
+
+    name: str
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Fresh(Formula):
+    """True on rows where the signal received a new update."""
+
+    name: str
+
+    def signals(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return "fresh(%s)" % self.name
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    """An arithmetic comparison between two expressions.
+
+    Comparisons involving NaN evaluate FALSE (IEEE semantics): a corrupted
+    value never *satisfies* a bound, and the negated comparison is also
+    FALSE — rule authors are expected to write the dangerous direction as
+    the violation condition.
+    """
+
+    op: str  # "<" | "<=" | ">" | ">=" | "==" | "!="
+    left: Expr
+    right: Expr
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def __str__(self) -> str:
+        return "%s %s %s" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Three-valued negation."""
+
+    operand: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.operand.machines()
+
+    def has_temporal(self) -> bool:
+        return self.operand.has_temporal()
+
+    def __str__(self) -> str:
+        return "not (%s)" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Three-valued conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.left.machines() + self.right.machines()
+
+    def has_temporal(self) -> bool:
+        return self.left.has_temporal() or self.right.has_temporal()
+
+    def __str__(self) -> str:
+        return "(%s and %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Three-valued disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.left.machines() + self.right.machines()
+
+    def has_temporal(self) -> bool:
+        return self.left.has_temporal() or self.right.has_temporal()
+
+    def __str__(self) -> str:
+        return "(%s or %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Three-valued material implication (``->``)."""
+
+    left: Formula
+    right: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.left.signals() + self.right.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.left.machines() + self.right.machines()
+
+    def has_temporal(self) -> bool:
+        return self.left.has_temporal() or self.right.has_temporal()
+
+    def __str__(self) -> str:
+        return "(%s -> %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """Bounded always: the operand holds at every row within
+    ``[lo, hi]`` seconds from now."""
+
+    lo: float
+    hi: float
+    operand: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.operand.machines()
+
+    def has_temporal(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "always[%r, %r] (%s)" % (self.lo, self.hi, self.operand)
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """Bounded eventually: the operand holds at some row within
+    ``[lo, hi]`` seconds from now."""
+
+    lo: float
+    hi: float
+    operand: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.operand.machines()
+
+    def has_temporal(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "eventually[%r, %r] (%s)" % (self.lo, self.hi, self.operand)
+
+
+@dataclass(frozen=True)
+class Once(Formula):
+    """Bounded past: the operand held at some row within ``[lo, hi]``
+    seconds *before* now (UNKNOWN where the window precedes the trace)."""
+
+    lo: float
+    hi: float
+    operand: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.operand.machines()
+
+    def has_temporal(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "once[%r, %r] (%s)" % (self.lo, self.hi, self.operand)
+
+
+@dataclass(frozen=True)
+class Historically(Formula):
+    """Bounded past: the operand held at every row within ``[lo, hi]``
+    seconds before now."""
+
+    lo: float
+    hi: float
+    operand: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.operand.machines()
+
+    def has_temporal(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "historically[%r, %r] (%s)" % (self.lo, self.hi, self.operand)
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """The operand holds at the next row (UNKNOWN at the last row)."""
+
+    operand: Formula
+
+    def signals(self) -> Tuple[str, ...]:
+        return self.operand.signals()
+
+    def machines(self) -> Tuple[str, ...]:
+        return self.operand.machines()
+
+    def has_temporal(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "next (%s)" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class InState(Formula):
+    """True while the named state machine is in the named state."""
+
+    machine: str
+    state: str
+
+    def machines(self) -> Tuple[str, ...]:
+        return (self.machine,)
+
+    def __str__(self) -> str:
+        return "in_state(%s, %s)" % (self.machine, self.state)
+
+
+Node = Union[Expr, Formula]

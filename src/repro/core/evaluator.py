@@ -1,0 +1,353 @@
+"""Offline evaluation of specification formulas over trace views.
+
+Evaluation is vectorized: every formula node produces one int8 verdict
+code per trace row (see :mod:`repro.core.types` for the encoding), and
+every expression node produces one float per row.  Bounded temporal
+operators become sliding-window minima/maxima; rows whose window extends
+past the end of the trace see UNKNOWN padding, which yields the correct
+three-valued verdict for truncated evidence.
+
+Numeric semantics follow IEEE-754 deliberately: NaN and infinities
+propagate through arithmetic, and any comparison involving NaN is FALSE.
+A monitored specification therefore treats a corrupted value as "does not
+satisfy the bound", matching how the paper's rules reacted to exceptional
+injected values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.ast import (
+    Always,
+    And,
+    Binary,
+    BoolConst,
+    Comparison,
+    Constant,
+    Eventually,
+    Expr,
+    Formula,
+    Fresh,
+    Historically,
+    Implies,
+    InState,
+    Next,
+    Once,
+    Not,
+    Or,
+    SignalPredicate,
+    SignalRef,
+    TraceFunc,
+    Unary,
+)
+from repro.core.types import (
+    FALSE_CODE,
+    TRUE_CODE,
+    UNKNOWN_CODE,
+    bools_to_codes,
+)
+from repro.errors import EvaluationError
+from repro.logs.trace import TraceView
+
+
+class EvalContext:
+    """Everything a formula needs to evaluate against one trace view.
+
+    Attributes:
+        view: the uniformly sampled trace.
+        machine_states: per-machine array of current state names per row
+            (populated by the monitor after running its state machines).
+        machine_alphabets: per-machine set of valid state names, used to
+            reject typos in ``in_state`` references.
+    """
+
+    def __init__(
+        self,
+        view: TraceView,
+        machine_states: Optional[Mapping[str, np.ndarray]] = None,
+        machine_alphabets: Optional[Mapping[str, frozenset]] = None,
+    ) -> None:
+        self.view = view
+        self.machine_states: Dict[str, np.ndarray] = dict(machine_states or {})
+        self.machine_alphabets: Dict[str, frozenset] = dict(
+            machine_alphabets or {}
+        )
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows under evaluation."""
+        return self.view.n_rows
+
+
+def evaluate_expr(node: Expr, ctx: EvalContext) -> np.ndarray:
+    """Evaluate a numeric expression to one float per row."""
+    if isinstance(node, Constant):
+        return np.full(ctx.n_rows, node.value)
+    if isinstance(node, SignalRef):
+        return _signal_values(node.name, ctx)
+    if isinstance(node, Unary):
+        operand = evaluate_expr(node.operand, ctx)
+        if node.op == "-":
+            return -operand
+        if node.op == "abs":
+            return np.abs(operand)
+        raise EvaluationError("unknown unary operator %r" % node.op)
+    if isinstance(node, Binary):
+        left = evaluate_expr(node.left, ctx)
+        right = evaluate_expr(node.right, ctx)
+        with np.errstate(all="ignore"):
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if node.op == "/":
+                return left / right
+            if node.op == "min":
+                return np.minimum(left, right)
+            if node.op == "max":
+                return np.maximum(left, right)
+        raise EvaluationError("unknown binary operator %r" % node.op)
+    if isinstance(node, TraceFunc):
+        return _trace_func(node, ctx)
+    raise EvaluationError("cannot evaluate expression node %r" % (node,))
+
+
+def evaluate_formula(node: Formula, ctx: EvalContext) -> np.ndarray:
+    """Evaluate a formula to one int8 verdict code per row."""
+    if isinstance(node, BoolConst):
+        code = TRUE_CODE if node.value else FALSE_CODE
+        return np.full(ctx.n_rows, code, dtype=np.int8)
+    if isinstance(node, SignalPredicate):
+        return bools_to_codes(_signal_values(node.name, ctx) != 0.0)
+    if isinstance(node, Fresh):
+        _require_signal(node.name, ctx)
+        return bools_to_codes(ctx.view.fresh(node.name))
+    if isinstance(node, Comparison):
+        return _comparison(node, ctx)
+    if isinstance(node, Not):
+        return (2 - evaluate_formula(node.operand, ctx)).astype(np.int8)
+    if isinstance(node, And):
+        return np.minimum(
+            evaluate_formula(node.left, ctx), evaluate_formula(node.right, ctx)
+        )
+    if isinstance(node, Or):
+        return np.maximum(
+            evaluate_formula(node.left, ctx), evaluate_formula(node.right, ctx)
+        )
+    if isinstance(node, Implies):
+        left = evaluate_formula(node.left, ctx)
+        right = evaluate_formula(node.right, ctx)
+        return np.maximum((2 - left).astype(np.int8), right)
+    if isinstance(node, Next):
+        inner = evaluate_formula(node.operand, ctx)
+        shifted = np.empty_like(inner)
+        if len(inner) > 1:
+            shifted[:-1] = inner[1:]
+        shifted[-1] = UNKNOWN_CODE
+        return shifted
+    if isinstance(node, Always):
+        inner = evaluate_formula(node.operand, ctx)
+        return _window_aggregate(inner, node.lo, node.hi, ctx, minimum=True)
+    if isinstance(node, Eventually):
+        inner = evaluate_formula(node.operand, ctx)
+        return _window_aggregate(inner, node.lo, node.hi, ctx, minimum=False)
+    if isinstance(node, Historically):
+        inner = evaluate_formula(node.operand, ctx)
+        return _past_window_aggregate(inner, node.lo, node.hi, ctx, minimum=True)
+    if isinstance(node, Once):
+        inner = evaluate_formula(node.operand, ctx)
+        return _past_window_aggregate(inner, node.lo, node.hi, ctx, minimum=False)
+    if isinstance(node, InState):
+        return _in_state(node, ctx)
+    raise EvaluationError("cannot evaluate formula node %r" % (node,))
+
+
+def future_reach(node: Formula, period: float) -> float:
+    """How far into the future a formula's verdict can depend, in seconds.
+
+    A row's verdict is final once the trace extends ``future_reach``
+    seconds past it — the quantity an online monitor needs to decide how
+    long to wait before emitting a verdict.  ``next`` reaches one sample
+    period; bounded future operators reach their upper bound plus whatever
+    their operand reaches; past operators add nothing.
+    """
+    if isinstance(node, (Always, Eventually)):
+        return node.hi + future_reach(node.operand, period)
+    if isinstance(node, (Once, Historically)):
+        return future_reach(node.operand, period)
+    if isinstance(node, Next):
+        return period + future_reach(node.operand, period)
+    if isinstance(node, Not):
+        return future_reach(node.operand, period)
+    if isinstance(node, (And, Or, Implies)):
+        return max(
+            future_reach(node.left, period), future_reach(node.right, period)
+        )
+    return 0.0
+
+
+def past_reach(node: Formula, period: float) -> float:
+    """How far into the past a formula's verdict can depend, in seconds.
+
+    The history an online monitor must retain behind its emission
+    frontier for verdicts to match an offline evaluation.
+    """
+    if isinstance(node, (Once, Historically)):
+        return node.hi + past_reach(node.operand, period)
+    if isinstance(node, (Always, Eventually, Next)):
+        return past_reach(node.operand, period)
+    if isinstance(node, Not):
+        return past_reach(node.operand, period)
+    if isinstance(node, (And, Or, Implies)):
+        return max(
+            past_reach(node.left, period), past_reach(node.right, period)
+        )
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _require_signal(name: str, ctx: EvalContext) -> None:
+    if name not in ctx.view:
+        raise EvaluationError(
+            "formula references signal %r, which the trace view does not "
+            "carry (available: %s)" % (name, ", ".join(ctx.view.signal_names))
+        )
+
+
+def _signal_values(name: str, ctx: EvalContext) -> np.ndarray:
+    _require_signal(name, ctx)
+    return ctx.view.values(name)
+
+
+def _trace_func(node: TraceFunc, ctx: EvalContext) -> np.ndarray:
+    _require_signal(node.signal, ctx)
+    view = ctx.view
+    if node.kind == "delta":
+        return view.delta_fresh(node.signal)
+    if node.kind == "delta_naive":
+        return view.delta_naive(node.signal)
+    if node.kind == "rate":
+        return view.rate(node.signal)
+    if node.kind == "prev":
+        values = view.values(node.signal)
+        previous = np.empty_like(values)
+        previous[0] = values[0]
+        if len(values) > 1:
+            previous[1:] = values[:-1]
+        return previous
+    if node.kind == "age":
+        return view.fresh_age(node.signal).astype(float)
+    raise EvaluationError("unknown trace function %r" % node.kind)
+
+
+def _comparison(node: Comparison, ctx: EvalContext) -> np.ndarray:
+    left = evaluate_expr(node.left, ctx)
+    right = evaluate_expr(node.right, ctx)
+    with np.errstate(invalid="ignore"):
+        if node.op == "<":
+            result = left < right
+        elif node.op == "<=":
+            result = left <= right
+        elif node.op == ">":
+            result = left > right
+        elif node.op == ">=":
+            result = left >= right
+        elif node.op == "==":
+            result = left == right
+        elif node.op == "!=":
+            result = left != right
+        else:
+            raise EvaluationError("unknown comparison operator %r" % node.op)
+    return bools_to_codes(result)
+
+
+def _window_aggregate(
+    codes: np.ndarray,
+    lo: float,
+    hi: float,
+    ctx: EvalContext,
+    minimum: bool,
+) -> np.ndarray:
+    """Sliding min/max of ``codes`` over the time window ``[lo, hi]``.
+
+    The window is converted to row offsets on the uniform grid.  Rows
+    whose window extends past the trace end aggregate against UNKNOWN
+    padding, which propagates exactly the right three-valued verdict for
+    truncated evidence (see :mod:`repro.core.types`).
+    """
+    period = ctx.view.period
+    lo_idx = int(math.ceil(lo / period - 1e-9))
+    hi_idx = int(math.floor(hi / period + 1e-9))
+    if hi_idx < lo_idx:
+        raise EvaluationError(
+            "temporal bound [%g, %g] s contains no sample at a period of "
+            "%g s" % (lo, hi, period)
+        )
+    n = len(codes)
+    width = hi_idx - lo_idx + 1
+    padded = np.concatenate(
+        [codes, np.full(hi_idx, UNKNOWN_CODE, dtype=np.int8)]
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(padded, width)
+    windows = windows[lo_idx : lo_idx + n]
+    if minimum:
+        return windows.min(axis=1).astype(np.int8)
+    return windows.max(axis=1).astype(np.int8)
+
+
+def _past_window_aggregate(
+    codes: np.ndarray,
+    lo: float,
+    hi: float,
+    ctx: EvalContext,
+    minimum: bool,
+) -> np.ndarray:
+    """Sliding min/max of ``codes`` over the *past* window ``[lo, hi]``.
+
+    Mirrors :func:`_window_aggregate` backwards: rows whose window
+    precedes the start of the trace aggregate against UNKNOWN padding.
+    """
+    period = ctx.view.period
+    lo_idx = int(math.ceil(lo / period - 1e-9))
+    hi_idx = int(math.floor(hi / period + 1e-9))
+    if hi_idx < lo_idx:
+        raise EvaluationError(
+            "temporal bound [%g, %g] s contains no sample at a period of "
+            "%g s" % (lo, hi, period)
+        )
+    n = len(codes)
+    width = hi_idx - lo_idx + 1
+    padded = np.concatenate(
+        [np.full(hi_idx, UNKNOWN_CODE, dtype=np.int8), codes]
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(padded, width)
+    windows = windows[:n]
+    if minimum:
+        return windows.min(axis=1).astype(np.int8)
+    return windows.max(axis=1).astype(np.int8)
+
+
+def _in_state(node: InState, ctx: EvalContext) -> np.ndarray:
+    states = ctx.machine_states.get(node.machine)
+    if states is None:
+        raise EvaluationError(
+            "formula references state machine %r, which the monitor does "
+            "not define" % node.machine
+        )
+    alphabet = ctx.machine_alphabets.get(node.machine)
+    if alphabet is not None and node.state not in alphabet:
+        raise EvaluationError(
+            "state machine %r has no state %r (states: %s)"
+            % (node.machine, node.state, ", ".join(sorted(alphabet)))
+        )
+    return bools_to_codes(states == node.state)

@@ -1,0 +1,122 @@
+"""Intent approximation — violation triage filters (§V-A, §IV-A).
+
+The paper's monitor estimated the feature's *intent to accelerate* from
+an increase in requested torque, then discovered on real-vehicle logs
+that "torque request increases do not necessarily imply system intent":
+climbing a hill raises torque at constant speed, and the flagged
+violations "included negligibly sized increases as well as extremely
+short transient increases".  Their triage weighed "the intensity and
+duration of the violations" to decide which were real.
+
+These filters make that triage mechanical and reusable.  A rule's
+*relaxed* variant attaches filters that drop violations that are too
+short, too small, or both — implementing intent approximation as a
+post-processing stage rather than baking thresholds into every formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.ast import Expr
+from repro.core.evaluator import EvalContext, evaluate_expr
+from repro.core.parser import parse_expr
+from repro.core.violations import Violation
+
+
+class IntentFilter:
+    """Interface: decide whether a violation reflects real intent."""
+
+    def keep(self, violation: Violation, ctx: EvalContext) -> bool:
+        """True when the violation should be reported."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DurationFilter(IntentFilter):
+    """Drop violations shorter than ``min_duration`` seconds.
+
+    Catches the paper's "extremely short transient increases" — e.g. a
+    single-cycle torque blip has no time to move the vehicle.
+    """
+
+    min_duration: float
+
+    def keep(self, violation: Violation, ctx: EvalContext) -> bool:
+        return violation.duration >= self.min_duration
+
+    def describe(self) -> str:
+        return "duration >= %g s" % self.min_duration
+
+
+class MagnitudeFilter(IntentFilter):
+    """Drop violations whose peak |expression| stays below a threshold.
+
+    Catches "negligibly sized increases": e.g. with expression
+    ``delta(RequestedTorque)`` and threshold 15 Nm, a violation whose
+    torque increments never reach 15 Nm is treated as noise, not intent.
+    """
+
+    def __init__(self, expression: Union[str, Expr], threshold: float) -> None:
+        self.expression = (
+            parse_expr(expression) if isinstance(expression, str) else expression
+        )
+        self.threshold = threshold
+
+    def keep(self, violation: Violation, ctx: EvalContext) -> bool:
+        values = evaluate_expr(self.expression, ctx)
+        span = values[violation.start_row : violation.end_row + 1]
+        finite = span[np.isfinite(span)]
+        if len(finite) == 0:
+            # A violation driven entirely by non-finite values is never
+            # negligible.
+            return True
+        return bool(np.abs(finite).max() >= self.threshold)
+
+    def describe(self) -> str:
+        return "peak |%s| >= %g" % (self.expression, self.threshold)
+
+
+@dataclass(frozen=True)
+class PersistenceFilter(IntentFilter):
+    """Drop violations spanning fewer than ``min_rows`` rows.
+
+    A row-count variant of :class:`DurationFilter`, convenient when the
+    tolerance is naturally expressed in controller cycles (e.g. "one
+    cycle of bad requested deceleration may be tolerated").
+    """
+
+    min_rows: int
+
+    def keep(self, violation: Violation, ctx: EvalContext) -> bool:
+        return violation.rows >= self.min_rows
+
+    def describe(self) -> str:
+        return "at least %d rows" % self.min_rows
+
+
+def apply_filters(
+    violations: Sequence[Violation],
+    filters: Sequence[IntentFilter],
+    ctx: EvalContext,
+) -> Tuple[List[Violation], List[Violation]]:
+    """Partition violations into (kept, dropped) under all filters.
+
+    A violation is kept only if *every* filter keeps it — filters express
+    independent reasons to dismiss, so dismissal by any one suffices.
+    """
+    kept: List[Violation] = []
+    dropped: List[Violation] = []
+    for violation in violations:
+        if all(f.keep(violation, ctx) for f in filters):
+            kept.append(violation)
+        else:
+            dropped.append(violation)
+    return kept, dropped

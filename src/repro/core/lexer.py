@@ -1,0 +1,91 @@
+"""Tokenizer for the specification language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import SpecError
+
+#: Reserved words of the language.
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "always",
+        "eventually",
+        "next",
+        "once",
+        "historically",
+        "in_state",
+        "fresh",
+        "rising",
+        "falling",
+        "delta",
+        "delta_naive",
+        "rate",
+        "prev",
+        "age",
+        "abs",
+        "min",
+        "max",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|->|[-+*/<>()\[\],:])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``number``, ``ident``, ``keyword``, ``op`` or ``end``;
+    ``text`` is the matched source text; ``pos`` is the character offset.
+    """
+
+    kind: str
+    text: str
+    pos: int
+
+    def __str__(self) -> str:
+        if self.kind == "end":
+            return "end of input"
+        return "%r" % self.text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, appending a synthetic ``end`` token.
+
+    Raises:
+        SpecError: on any character that is not part of the language.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise SpecError(
+                "unexpected character %r at position %d" % (source[pos], pos)
+            )
+        if match.lastgroup != "ws":
+            text = match.group()
+            if match.lastgroup == "ident":
+                kind = "keyword" if text in KEYWORDS else "ident"
+            else:
+                kind = match.lastgroup or "op"
+            tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(Token("end", "", len(source)))
+    return tokens

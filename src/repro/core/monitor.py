@@ -1,0 +1,354 @@
+"""The runtime monitor — rules checked against captured traces.
+
+A :class:`Monitor` bundles safety :class:`Rule` objects and mode
+:class:`~repro.core.statemachine.StateMachine` definitions, and checks
+them offline against a :class:`~repro.logs.trace.Trace` (as the paper
+did, on stored log data).  The result is a :class:`MonitorReport` with a
+per-rule verdict, the individual violations, and the S/V letters used by
+the paper's Table I.
+
+Rule semantics per trace row ``i``:
+
+* if the row is masked (initial settle window, or a warm-up window after
+  the rule's activation trigger), the row is not checked;
+* otherwise the rule's formula (optionally gated:
+  ``gate -> formula``) is evaluated three-valued at ``i``.
+
+A rule is **violated** if, after intent filters, at least one violation
+run remains.  A rule whose raw violations are all dismissed by its
+filters reports satisfied — the filters exist precisely to encode the
+paper's "relax the rule when false positives are found" workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.ast import Formula, Implies
+from repro.core.evaluator import EvalContext, evaluate_formula
+from repro.core.intent import IntentFilter, apply_filters
+from repro.core.parser import parse_formula
+from repro.core.statemachine import StateMachine
+from repro.core.types import (
+    TRUE_CODE,
+    UNKNOWN_CODE,
+    Verdict,
+    summarize_codes,
+)
+from repro.core.violations import Violation, extract_violations
+from repro.core.warmup import WarmupSpec
+from repro.errors import SpecError
+from repro.logs.trace import Trace, TraceView
+
+#: Default monitor sampling period — the vehicle's fast message period.
+DEFAULT_PERIOD = 0.02
+
+
+def as_formula(formula: Union[str, Formula]) -> Formula:
+    """Accept a formula object or source text."""
+    return parse_formula(formula) if isinstance(formula, str) else formula
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One monitored safety property.
+
+    Attributes:
+        rule_id: short identifier (e.g. ``"rule3"``).
+        name: human-readable title.
+        formula: the property, checked at every unmasked row.
+        gate: optional guard; rows where the gate is false are vacuously
+            satisfied (the property is only meaningful under the gate,
+            e.g. while the ACC is enabled).
+        warmup: optional §V-C2 warm-up suppression.
+        initial_settle: seconds at the start of the trace left unchecked
+            (power-on transients, first updates of slow signals).
+        filters: intent-approximation filters applied to violations.
+        description: what the rule protects against.
+    """
+
+    rule_id: str
+    name: str
+    formula: Formula
+    gate: Optional[Formula] = None
+    warmup: Optional[WarmupSpec] = None
+    initial_settle: float = 0.0
+    filters: Tuple[IntentFilter, ...] = ()
+    description: str = ""
+
+    @classmethod
+    def from_text(
+        cls,
+        rule_id: str,
+        name: str,
+        formula: str,
+        gate: Optional[str] = None,
+        warmup: Optional[WarmupSpec] = None,
+        initial_settle: float = 0.0,
+        filters: Tuple[IntentFilter, ...] = (),
+        description: str = "",
+    ) -> "Rule":
+        """Build a rule from specification source text."""
+        return cls(
+            rule_id=rule_id,
+            name=name,
+            formula=parse_formula(formula),
+            gate=parse_formula(gate) if gate else None,
+            warmup=warmup,
+            initial_settle=initial_settle,
+            filters=filters,
+            description=description,
+        )
+
+    def effective_formula(self) -> Formula:
+        """The formula actually evaluated (gate folded in)."""
+        if self.gate is None:
+            return self.formula
+        return Implies(self.gate, self.formula)
+
+    def signals(self) -> Tuple[str, ...]:
+        """All signals the rule needs from the trace."""
+        names = list(self.effective_formula().signals())
+        if self.warmup is not None:
+            names.extend(self.warmup.trigger.signals())
+        return tuple(dict.fromkeys(names))
+
+    def machines(self) -> Tuple[str, ...]:
+        """All state machines the rule references."""
+        return self.effective_formula().machines()
+
+    def relaxed(self, *filters: IntentFilter) -> "Rule":
+        """A copy of this rule with extra intent filters attached."""
+        return Rule(
+            rule_id=self.rule_id,
+            name=self.name,
+            formula=self.formula,
+            gate=self.gate,
+            warmup=self.warmup,
+            initial_settle=self.initial_settle,
+            filters=self.filters + tuple(filters),
+            description=self.description,
+        )
+
+
+@dataclass
+class RuleResult:
+    """Outcome of checking one rule against one trace."""
+
+    rule: Rule
+    verdict: Verdict
+    violations: List[Violation]
+    dismissed: List[Violation]
+    rows_total: int
+    rows_checked: int
+    rows_masked: int
+    rows_unknown: int
+
+    @property
+    def violated(self) -> bool:
+        """Whether any violation survived the intent filters."""
+        return bool(self.violations)
+
+    @property
+    def letter(self) -> str:
+        """The Table I letter: ``V`` if violated, else ``S``."""
+        return "V" if self.violated else "S"
+
+
+@dataclass
+class MonitorReport:
+    """All rule results for one checked trace."""
+
+    trace_name: str
+    period: float
+    duration: float
+    results: Dict[str, RuleResult] = field(default_factory=dict)
+
+    def result(self, rule_id: str) -> RuleResult:
+        """Result for one rule."""
+        try:
+            return self.results[rule_id]
+        except KeyError:
+            raise SpecError("report has no rule %s" % rule_id) from None
+
+    def letter(self, rule_id: str) -> str:
+        """``S``/``V`` for one rule."""
+        return self.result(rule_id).letter
+
+    def letters(self) -> Dict[str, str]:
+        """``S``/``V`` per rule id."""
+        return {rule_id: r.letter for rule_id, r in self.results.items()}
+
+    def violated_rules(self) -> List[str]:
+        """Ids of all violated rules."""
+        return [rid for rid, r in self.results.items() if r.violated]
+
+    @property
+    def all_satisfied(self) -> bool:
+        """Whether no rule was violated."""
+        return not self.violated_rules()
+
+    def violation_count(self) -> int:
+        """Total violations across rules (post-filter)."""
+        return sum(len(r.violations) for r in self.results.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable digest of the report (for tooling/CI)."""
+        return {
+            "trace": self.trace_name,
+            "period": self.period,
+            "duration": self.duration,
+            "all_satisfied": self.all_satisfied,
+            "rules": {
+                rule_id: {
+                    "name": result.rule.name,
+                    "letter": result.letter,
+                    "verdict": result.verdict.name,
+                    "violations": [
+                        {
+                            "start_time": violation.start_time,
+                            "end_time": violation.end_time,
+                            "rows": violation.rows,
+                            "severity": violation.severity.value,
+                            "witness": dict(violation.witness),
+                        }
+                        for violation in result.violations
+                    ],
+                    "dismissed": len(result.dismissed),
+                    "rows_checked": result.rows_checked,
+                    "rows_masked": result.rows_masked,
+                    "rows_unknown": result.rows_unknown,
+                }
+                for rule_id, result in self.results.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """Human-readable per-rule table."""
+        lines = [
+            "trace %r  (%.1f s at %.0f ms)"
+            % (self.trace_name, self.duration, self.period * 1000.0),
+            "%-8s %-7s %-10s %-10s %s"
+            % ("rule", "letter", "violations", "dismissed", "name"),
+        ]
+        for rule_id in sorted(self.results):
+            result = self.results[rule_id]
+            lines.append(
+                "%-8s %-7s %-10d %-10d %s"
+                % (
+                    rule_id,
+                    result.letter,
+                    len(result.violations),
+                    len(result.dismissed),
+                    result.rule.name,
+                )
+            )
+        return "\n".join(lines)
+
+
+class Monitor:
+    """A passive, bolt-on test monitor over a set of rules."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        machines: Sequence[StateMachine] = (),
+        period: float = DEFAULT_PERIOD,
+    ) -> None:
+        ids = [rule.rule_id for rule in rules]
+        if len(set(ids)) != len(ids):
+            raise SpecError("duplicate rule ids: %s" % ids)
+        self.rules: List[Rule] = list(rules)
+        self.machines: List[StateMachine] = list(machines)
+        self.period = period
+        machine_names = {machine.name for machine in self.machines}
+        for rule in self.rules:
+            for name in rule.machines():
+                if name not in machine_names:
+                    raise SpecError(
+                        "rule %s references undefined state machine %r"
+                        % (rule.rule_id, name)
+                    )
+
+    def required_signals(self) -> Tuple[str, ...]:
+        """All trace signals needed by rules and machine guards."""
+        names: List[str] = []
+        for rule in self.rules:
+            names.extend(rule.signals())
+        for machine in self.machines:
+            names.extend(machine.signals())
+        return tuple(dict.fromkeys(names))
+
+    def check(
+        self,
+        trace: Trace,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> MonitorReport:
+        """Check every rule against ``trace`` and build a report."""
+        view = trace.to_view(
+            self.period,
+            signals=self.required_signals(),
+            start=start,
+            end=end,
+        )
+        return self.check_view(view, trace_name=trace.name)
+
+    def check_view(self, view: TraceView, trace_name: str = "") -> MonitorReport:
+        """Check every rule against an already-built view."""
+        ctx = EvalContext(view)
+        for machine in self.machines:
+            ctx.machine_states[machine.name] = machine.run(ctx)
+            ctx.machine_alphabets[machine.name] = machine.alphabet
+        report = MonitorReport(
+            trace_name=trace_name,
+            period=view.period,
+            duration=view.end_time - view.start_time,
+        )
+        for rule in self.rules:
+            report.results[rule.rule_id] = self._check_rule(rule, ctx)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_rule(self, rule: Rule, ctx: EvalContext) -> RuleResult:
+        view = ctx.view
+        codes = evaluate_formula(rule.effective_formula(), ctx).copy()
+
+        masked = np.zeros(view.n_rows, dtype=bool)
+        if rule.initial_settle > 0:
+            settle_rows = int(round(rule.initial_settle / view.period))
+            masked[: settle_rows + 1] = True
+        if rule.warmup is not None:
+            masked |= rule.warmup.mask(ctx)
+        codes[masked] = TRUE_CODE
+
+        witness_signals = {
+            name: view.values(name) for name in rule.signals() if name in view
+        }
+        raw = extract_violations(
+            codes, view.times, rule.rule_id, view.period, witness_signals
+        )
+        kept, dropped = apply_filters(raw, rule.filters, ctx)
+
+        if kept:
+            verdict = Verdict.FALSE
+        elif raw:
+            # All violations dismissed as not reflecting real intent.
+            verdict = Verdict.TRUE
+        else:
+            verdict = summarize_codes(codes)
+
+        return RuleResult(
+            rule=rule,
+            verdict=verdict,
+            violations=kept,
+            dismissed=dropped,
+            rows_total=view.n_rows,
+            rows_checked=int((~masked).sum()),
+            rows_masked=int(masked.sum()),
+            rows_unknown=int((codes == UNKNOWN_CODE).sum()),
+        )

@@ -1,0 +1,384 @@
+"""Online (incremental) monitoring.
+
+The paper performed all monitoring offline but notes "there is no
+fundamental reason the monitoring could not be done at runtime".  This
+module is that runtime path: an :class:`OnlineMonitor` consumes bus
+events as they arrive, holds only a bounded window of history, and emits
+verdicts as soon as they are decidable.
+
+How it works
+------------
+
+Verdicts of bounded temporal formulas depend on a *finite* future: a row
+is decidable once the stream has advanced past the rule set's maximum
+:func:`~repro.core.evaluator.future_reach`.  The monitor therefore
+buffers events into a rolling trace and, whenever enough new decidable
+rows have accumulated (or on :meth:`finish`), evaluates a chunk:
+
+* the chunk's view includes a *history margin* behind the emission
+  window, so past-looking constructs (``prev``, freshness-aware
+  ``delta``/``rate``, warm-up triggers) see the same context they would
+  offline;
+* state machines resume from their saved state at the history margin's
+  first row, so modal state is continuous across chunks;
+* only rows whose temporal windows are complete inside the chunk are
+  emitted (the tail is re-evaluated next chunk), so emitted verdicts are
+  **identical to the offline monitor's** for filter-free rules —
+  a property the test suite checks exhaustively.
+
+Two documented deviations from offline semantics:
+
+* intent filters are applied per emitted violation segment; a violation
+  that straddles a chunk boundary is filtered piecewise;
+* events older than the retention window are discarded, so the monitor's
+  memory is O(retention), not O(trace).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluator import (
+    EvalContext,
+    evaluate_formula,
+    future_reach,
+    past_reach,
+)
+from repro.core.intent import apply_filters
+from repro.core.monitor import (
+    DEFAULT_PERIOD,
+    Monitor,
+    MonitorReport,
+    Rule,
+    RuleResult,
+)
+from repro.core.statemachine import StateMachine
+from repro.core.types import (
+    TRUE_CODE,
+    UNKNOWN_CODE,
+    Verdict,
+)
+from repro.core.violations import Violation, extract_violations
+from repro.errors import TraceError
+from repro.logs.trace import Trace
+
+
+@dataclass
+class _RuleProgress:
+    """Accumulated per-rule results across emitted chunks."""
+
+    violations: List[Violation] = field(default_factory=list)
+    dismissed: List[Violation] = field(default_factory=list)
+    rows_total: int = 0
+    rows_checked: int = 0
+    rows_masked: int = 0
+    rows_unknown: int = 0
+    any_false: bool = False
+
+
+class OnlineMonitor:
+    """Streaming monitor with bounded memory and prompt verdicts.
+
+    Args:
+        rules: the rule set (same objects the offline monitor takes).
+        machines: mode state machines referenced by the rules.
+        period: monitor sampling period, seconds.
+        min_chunk_rows: emit only once this many new rows are decidable
+            (batches the vectorized evaluation; latency is bounded by
+            ``future_reach + min_chunk_rows * period``).
+        retention: seconds of history kept behind the emission frontier.
+            Automatically raised to cover warm-up durations, the initial
+            settle windows, and a couple of slow message periods.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        machines: Sequence[StateMachine] = (),
+        period: float = DEFAULT_PERIOD,
+        min_chunk_rows: int = 50,
+        retention: float = 1.0,
+    ) -> None:
+        # Reuse the offline monitor's validation and signal bookkeeping.
+        self._offline = Monitor(rules, machines=machines, period=period)
+        self.rules = self._offline.rules
+        self.machines = self._offline.machines
+        self.period = period
+        self.min_chunk_rows = max(1, min_chunk_rows)
+
+        reach = 0.0
+        history = retention
+        for rule in self.rules:
+            formula = rule.effective_formula()
+            reach = max(reach, future_reach(formula, period))
+            history = max(history, past_reach(formula, period) + 2 * period)
+            history = max(history, rule.initial_settle + period)
+            if rule.warmup is not None:
+                history = max(history, rule.warmup.duration + 2 * period)
+        self._horizon_rows = int(math.ceil(reach / period)) + 1
+        self._history_rows = int(math.ceil(history / period)) + 2
+
+        self._buffer = Trace("online")
+        self._signals = set(self._offline.required_signals())
+        self._start_time: Optional[float] = None
+        self._latest: float = -math.inf
+        self._next_emit_row = 0
+        self._machine_resume: Dict[str, Tuple[int, str]] = {
+            machine.name: (0, machine.initial) for machine in self.machines
+        }
+        self._progress: Dict[str, _RuleProgress] = {
+            rule.rule_id: _RuleProgress() for rule in self.rules
+        }
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    @property
+    def decision_latency(self) -> float:
+        """Worst-case seconds between a row and its emitted verdict."""
+        return (self._horizon_rows + self.min_chunk_rows) * self.period
+
+    def feed(self, timestamp: float, signal: str, value: float) -> List[Violation]:
+        """Consume one bus event; returns violations finalized by it.
+
+        Every event advances the monitor's clock (time passes on the bus
+        whether or not the rules reference the signal — exactly as an
+        offline check over the full trace sees it); only referenced
+        signals are buffered.
+        """
+        if self._finished:
+            raise TraceError("monitor already finished")
+        if self._start_time is None:
+            self._start_time = timestamp
+        self._latest = max(self._latest, timestamp)
+        if signal not in self._signals:
+            return []
+        self._buffer.record(signal, timestamp, value)
+        decidable = self._decidable_row()
+        if decidable - self._next_emit_row >= self.min_chunk_rows:
+            return self._emit(decidable)
+        return []
+
+    def feed_trace(self, trace: Trace) -> List[Violation]:
+        """Replay a whole trace through the stream (for testing/replays)."""
+        fresh: List[Violation] = []
+        for timestamp, signal, value in trace.events():
+            fresh.extend(self.feed(timestamp, signal, value))
+        return fresh
+
+    def finish(self, trace_name: str = "online") -> MonitorReport:
+        """Flush the tail (emitting UNKNOWNs where windows are cut short)
+        and assemble the final report."""
+        if self._finished:
+            raise TraceError("monitor already finished")
+        self._finished = True
+        if self._start_time is not None:
+            last_row = self._row_of(self._latest)
+            if last_row >= self._next_emit_row:
+                self._emit(last_row, allow_unknown_tail=True)
+        report = MonitorReport(
+            trace_name=trace_name,
+            period=self.period,
+            duration=(self._latest - self._start_time)
+            if self._start_time is not None
+            else 0.0,
+        )
+        for rule in self.rules:
+            progress = self._progress[rule.rule_id]
+            if progress.violations:
+                verdict = Verdict.FALSE
+            elif progress.any_false:
+                verdict = Verdict.TRUE  # everything dismissed by filters
+            elif progress.rows_unknown:
+                verdict = Verdict.UNKNOWN
+            elif progress.rows_total:
+                verdict = Verdict.TRUE
+            else:
+                verdict = Verdict.UNKNOWN
+            report.results[rule.rule_id] = RuleResult(
+                rule=rule,
+                verdict=verdict,
+                violations=progress.violations,
+                dismissed=progress.dismissed,
+                rows_total=progress.rows_total,
+                rows_checked=progress.rows_checked,
+                rows_masked=progress.rows_masked,
+                rows_unknown=progress.rows_unknown,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _row_of(self, timestamp: float) -> int:
+        return int(math.floor((timestamp - self._start_time) / self.period + 1e-9))
+
+    def _decidable_row(self) -> int:
+        return self._row_of(self._latest) - self._horizon_rows
+
+    def _emit(self, upto_row: int, allow_unknown_tail: bool = False) -> List[Violation]:
+        """Evaluate and finalize rows [next_emit_row .. upto_row]."""
+        history_start = max(0, self._next_emit_row - self._history_rows)
+        t0 = self._start_time
+        view_start = t0 + history_start * self.period
+        view_end = t0 + (upto_row + self._horizon_rows) * self.period
+        view_end = min(view_end, self._latest)
+        try:
+            view = self._buffer.to_view(
+                self.period,
+                signals=self._offline.required_signals(),
+                start=view_start,
+                end=view_end,
+            )
+        except TraceError:
+            # A required signal has not appeared yet: wait for more data.
+            return []
+        ctx = EvalContext(view)
+        chunk_initials: Dict[str, str] = {}
+        for machine in self.machines:
+            resume_row, resume_state = self._machine_resume[machine.name]
+            initial = (
+                resume_state if resume_row == history_start else machine.initial
+            )
+            chunk_initials[machine.name] = initial
+            states = machine.run(ctx, initial=initial)
+            ctx.machine_states[machine.name] = states
+            ctx.machine_alphabets[machine.name] = machine.alphabet
+
+        emit_lo = self._next_emit_row - history_start  # view-relative
+        emit_hi = upto_row - history_start
+        fresh: List[Violation] = []
+        for rule in self.rules:
+            fresh.extend(
+                self._emit_rule(rule, ctx, history_start, emit_lo, emit_hi)
+            )
+
+        # Save machine state for the next chunk's history start: the
+        # state *entering* that row (i.e. after the preceding row), so
+        # the row's own transition fires exactly once when re-evaluated.
+        next_history_start = max(0, upto_row + 1 - self._history_rows)
+        for machine in self.machines:
+            states = ctx.machine_states[machine.name]
+            index = next_history_start - history_start
+            if index <= 0:
+                entering = chunk_initials[machine.name]
+            else:
+                entering = str(states[min(index, len(states)) - 1])
+            self._machine_resume[machine.name] = (
+                next_history_start,
+                entering,
+            )
+
+        self._next_emit_row = upto_row + 1
+        # Drop events that can no longer influence any future chunk.
+        keep_from = t0 + next_history_start * self.period
+        self._buffer = self._buffer.sliced(keep_from, math.inf, name="online")
+        return fresh
+
+    def _emit_rule(
+        self,
+        rule: Rule,
+        ctx: EvalContext,
+        history_start: int,
+        emit_lo: int,
+        emit_hi: int,
+    ) -> List[Violation]:
+        view = ctx.view
+        codes = evaluate_formula(rule.effective_formula(), ctx).copy()
+
+        masked = np.zeros(view.n_rows, dtype=bool)
+        if rule.initial_settle > 0:
+            settle_rows = int(round(rule.initial_settle / self.period))
+            # Absolute settle window, expressed in view-relative rows.
+            settle_end = settle_rows - history_start
+            if settle_end >= 0:
+                masked[: settle_end + 1] = True
+        if rule.warmup is not None:
+            masked |= rule.warmup.mask(ctx)
+        codes[masked] = TRUE_CODE
+
+        lo = max(emit_lo, 0)
+        hi = min(emit_hi, view.n_rows - 1)
+        if hi < lo:
+            return []
+        window = codes[lo : hi + 1]
+        progress = self._progress[rule.rule_id]
+        progress.rows_total += hi - lo + 1
+        progress.rows_masked += int(masked[lo : hi + 1].sum())
+        progress.rows_checked += int((~masked[lo : hi + 1]).sum())
+        progress.rows_unknown += int((window == UNKNOWN_CODE).sum())
+
+        witness = {
+            name: view.values(name)[lo : hi + 1]
+            for name in rule.signals()
+            if name in view
+        }
+        raw = extract_violations(
+            window,
+            view.times[lo : hi + 1],
+            rule.rule_id,
+            self.period,
+            witness,
+        )
+        # Shift rows to view coordinates so intent filters index the
+        # chunk's context correctly.
+        raw = [self._shift(v, lo) for v in raw]
+        if raw:
+            progress.any_false = True
+        kept, dropped = apply_filters(raw, rule.filters, ctx)
+        # Re-anchor from view coordinates to absolute stream rows.
+        kept = [self._shift(v, history_start) for v in kept]
+        dropped = [self._shift(v, history_start) for v in dropped]
+        fresh = self._absorb(progress.violations, kept)
+        self._absorb(progress.dismissed, dropped)
+        return fresh
+
+    @staticmethod
+    def _absorb(
+        accumulated: List[Violation], incoming: List[Violation]
+    ) -> List[Violation]:
+        """Append violations, coalescing runs split by chunk boundaries.
+
+        Returns the genuinely new violation records (a continuation of
+        the previous chunk's final run extends it rather than appearing
+        as a fresh violation).
+        """
+        fresh: List[Violation] = []
+        for violation in incoming:
+            if (
+                accumulated
+                and accumulated[-1].end_row + 1 == violation.start_row
+            ):
+                last = accumulated[-1]
+                accumulated[-1] = Violation(
+                    rule_id=last.rule_id,
+                    start_row=last.start_row,
+                    end_row=violation.end_row,
+                    start_time=last.start_time,
+                    end_time=violation.end_time,
+                    period=last.period,
+                    witness=last.witness,
+                )
+            else:
+                accumulated.append(violation)
+                fresh.append(violation)
+        return fresh
+
+    @staticmethod
+    def _shift(violation: Violation, offset: int) -> Violation:
+        return Violation(
+            rule_id=violation.rule_id,
+            start_row=violation.start_row + offset,
+            end_row=violation.end_row + offset,
+            start_time=violation.start_time,
+            end_time=violation.end_time,
+            period=violation.period,
+            witness=violation.witness,
+        )

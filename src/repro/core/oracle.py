@@ -1,0 +1,100 @@
+"""The partial test oracle built on the monitor.
+
+The paper's oracles are partial in two ways (§II): they cover only
+critical properties (not all behaviour), and they bound safety only
+approximately.  Accordingly the oracle maps a monitor report to one of
+three outcomes rather than a crisp pass/fail:
+
+* **FAIL** — at least one safety rule was violated; the test revealed a
+  problem (even one violation "provides useful evidence that the system
+  is unsafe").
+* **PASS** — every rule was definitively satisfied on every checked row.
+* **INCONCLUSIVE** — no violations, but some rows could not be decided
+  (bounded windows truncated by the end of the trace, masked warm-up
+  spans), so the evidence is weaker than a PASS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.monitor import Monitor, MonitorReport
+from repro.core.types import Verdict
+from repro.core.violations import Violation
+from repro.logs.trace import Trace
+
+
+class OracleVerdict(enum.Enum):
+    """Outcome of judging one test trace."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class OracleResult:
+    """Verdict plus the evidence behind it."""
+
+    verdict: OracleVerdict
+    report: MonitorReport
+    failures: Dict[str, List[Violation]]
+
+    @property
+    def failed(self) -> bool:
+        """Whether the oracle declared the test failed."""
+        return self.verdict is OracleVerdict.FAIL
+
+    def explain(self) -> str:
+        """Human-readable justification for the verdict."""
+        lines = ["oracle verdict: %s" % self.verdict.value.upper()]
+        for rule_id in sorted(self.failures):
+            for violation in self.failures[rule_id]:
+                lines.append("  %s" % violation)
+        if not self.failures:
+            unknown = sum(
+                result.rows_unknown for result in self.report.results.values()
+            )
+            if unknown:
+                lines.append("  %d undecidable row-verdicts" % unknown)
+        return "\n".join(lines)
+
+
+class TestOracle:
+    """A monitor-backed partial oracle for system test traces."""
+
+    # Not a pytest test class, despite the (paper-accurate) name.
+    __test__ = False
+
+    def __init__(self, monitor: Monitor) -> None:
+        self.monitor = monitor
+
+    def judge(
+        self,
+        trace: Trace,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> OracleResult:
+        """Judge one captured test trace."""
+        report = self.monitor.check(trace, start=start, end=end)
+        return self.judge_report(report)
+
+    def judge_report(self, report: MonitorReport) -> OracleResult:
+        """Judge an existing monitor report."""
+        failures = {
+            rule_id: result.violations
+            for rule_id, result in report.results.items()
+            if result.violated
+        }
+        if failures:
+            verdict = OracleVerdict.FAIL
+        elif all(
+            result.verdict is Verdict.TRUE
+            for result in report.results.values()
+        ):
+            verdict = OracleVerdict.PASS
+        else:
+            verdict = OracleVerdict.INCONCLUSIVE
+        return OracleResult(verdict=verdict, report=report, failures=failures)

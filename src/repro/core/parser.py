@@ -1,0 +1,324 @@
+"""Recursive-descent parser for the specification language.
+
+Grammar (informal)::
+
+    formula     := implication
+    implication := disjunction ('->' implication)?
+    disjunction := conjunction ('or' conjunction)*
+    conjunction := unary ('and' unary)*
+    unary       := 'not' unary
+                 | 'always' bounds unary
+                 | 'eventually' bounds unary
+                 | 'once' bounds unary          -- bounded past
+                 | 'historically' bounds unary  -- bounded past
+                 | 'next' unary
+                 | atom
+    atom        := 'true' | 'false'
+                 | 'in_state' '(' IDENT ',' IDENT ')'
+                 | 'fresh' '(' IDENT ')'
+                 | 'rising' '(' IDENT [',' expr] ')'
+                 | 'falling' '(' IDENT [',' expr] ')'
+                 | comparison
+                 | '(' formula ')'
+                 | IDENT                     -- boolean signal
+    bounds      := '[' time (','|':') time ']'
+    time        := NUMBER ['s' | 'ms']
+    comparison  := expr RELOP expr
+    expr        := term (('+'|'-') term)*
+    term        := factor (('*'|'/') factor)*
+    factor      := '-' factor | primary
+    primary     := NUMBER | IDENT | '(' expr ')'
+                 | ('delta'|'delta_naive'|'rate'|'prev'|'age') '(' IDENT ')'
+                 | 'abs' '(' expr ')'
+                 | ('min'|'max') '(' expr ',' expr ')'
+
+``rising(S)`` / ``falling(S)`` are sugar for ``delta(S) > 0`` /
+``delta(S) < 0``; an optional second argument gives a magnitude
+threshold (``rising(S, 5)`` means ``delta(S) > 5``), which is how the
+relaxed "intent-aware" rule variants express negligible-change tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.ast import (
+    Always,
+    And,
+    Binary,
+    BoolConst,
+    Comparison,
+    Constant,
+    Eventually,
+    Expr,
+    Formula,
+    Fresh,
+    Historically,
+    Implies,
+    InState,
+    Next,
+    Once,
+    Not,
+    Or,
+    SignalPredicate,
+    SignalRef,
+    TraceFunc,
+    Unary,
+)
+from repro.core.lexer import Token, tokenize
+from repro.errors import SpecError
+
+_RELOPS = ("<", "<=", ">", ">=", "==", "!=")
+_SIGNAL_FUNCS = ("delta", "delta_naive", "rate", "prev", "age")
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a complete formula from source text."""
+    parser = _Parser(tokenize(source), source)
+    formula = parser.formula()
+    parser.expect_end()
+    return formula
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a complete numeric expression from source text."""
+    parser = _Parser(tokenize(source), source)
+    expr = parser.expr()
+    parser.expect_end()
+    return expr
+
+
+class _Parser:
+    """Backtracking recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "end":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise SpecError(
+                "expected %s but found %s at position %d in %r"
+                % (wanted, self._current, self._current.pos, self._source)
+            )
+        return self._advance()
+
+    def expect_end(self) -> None:
+        """Assert the whole input was consumed."""
+        if self._current.kind != "end":
+            raise SpecError(
+                "unexpected trailing input %s at position %d in %r"
+                % (self._current, self._current.pos, self._source)
+            )
+
+    # -- formulas --------------------------------------------------------
+
+    def formula(self) -> Formula:
+        """Entry point: implication (right-associative)."""
+        left = self._disjunction()
+        if self._accept("op", "->"):
+            return Implies(left, self.formula())
+        return left
+
+    def _disjunction(self) -> Formula:
+        left = self._conjunction()
+        while self._accept("keyword", "or"):
+            left = Or(left, self._conjunction())
+        return left
+
+    def _conjunction(self) -> Formula:
+        left = self._unary_formula()
+        while self._accept("keyword", "and"):
+            left = And(left, self._unary_formula())
+        return left
+
+    def _unary_formula(self) -> Formula:
+        if self._accept("keyword", "not"):
+            return Not(self._unary_formula())
+        if self._accept("keyword", "always"):
+            lo, hi = self._bounds()
+            return Always(lo, hi, self._unary_formula())
+        if self._accept("keyword", "eventually"):
+            lo, hi = self._bounds()
+            return Eventually(lo, hi, self._unary_formula())
+        if self._accept("keyword", "next"):
+            return Next(self._unary_formula())
+        if self._accept("keyword", "once"):
+            lo, hi = self._bounds()
+            return Once(lo, hi, self._unary_formula())
+        if self._accept("keyword", "historically"):
+            lo, hi = self._bounds()
+            return Historically(lo, hi, self._unary_formula())
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        if self._accept("keyword", "true"):
+            return BoolConst(True)
+        if self._accept("keyword", "false"):
+            return BoolConst(False)
+        if self._accept("keyword", "in_state"):
+            self._expect("op", "(")
+            machine = self._expect("ident").text
+            self._expect("op", ",")
+            state = self._expect("ident").text
+            self._expect("op", ")")
+            return InState(machine, state)
+        if self._accept("keyword", "fresh"):
+            self._expect("op", "(")
+            name = self._expect("ident").text
+            self._expect("op", ")")
+            return Fresh(name)
+        if self._check("keyword", "rising") or self._check("keyword", "falling"):
+            return self._trend_sugar()
+        # Comparison vs. parenthesized formula vs. boolean signal: try a
+        # comparison first and backtrack if no relational operator shows up.
+        saved = self._pos
+        try:
+            return self._comparison()
+        except SpecError:
+            self._pos = saved
+        if self._accept("op", "("):
+            inner = self.formula()
+            self._expect("op", ")")
+            return inner
+        if self._check("ident"):
+            return SignalPredicate(self._advance().text)
+        raise SpecError(
+            "expected a formula at position %d in %r, found %s"
+            % (self._current.pos, self._source, self._current)
+        )
+
+    def _trend_sugar(self) -> Formula:
+        keyword = self._advance().text
+        self._expect("op", "(")
+        name = self._expect("ident").text
+        threshold: Expr = Constant(0.0)
+        if self._accept("op", ","):
+            threshold = self.expr()
+        self._expect("op", ")")
+        delta = TraceFunc("delta", name)
+        if keyword == "rising":
+            return Comparison(">", delta, threshold)
+        return Comparison("<", delta, Unary("-", threshold))
+
+    def _comparison(self) -> Formula:
+        left = self.expr()
+        token = self._current
+        if token.kind == "op" and token.text in _RELOPS:
+            self._advance()
+            right = self.expr()
+            return Comparison(token.text, left, right)
+        raise SpecError(
+            "expected a comparison operator at position %d in %r"
+            % (token.pos, self._source)
+        )
+
+    def _bounds(self) -> Tuple[float, float]:
+        self._expect("op", "[")
+        lo = self._time()
+        if not (self._accept("op", ",") or self._accept("op", ":")):
+            raise SpecError(
+                "expected ',' or ':' in time bounds at position %d in %r"
+                % (self._current.pos, self._source)
+            )
+        hi = self._time()
+        self._expect("op", "]")
+        if lo < 0 or hi < lo:
+            raise SpecError(
+                "invalid time bounds [%g, %g] in %r" % (lo, hi, self._source)
+            )
+        return lo, hi
+
+    def _time(self) -> float:
+        number = float(self._expect("number").text)
+        if self._check("ident", "s"):
+            self._advance()
+            return number
+        if self._check("ident", "ms"):
+            self._advance()
+            return number / 1000.0
+        return number
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self) -> Expr:
+        """Additive expression."""
+        left = self._term()
+        while True:
+            if self._accept("op", "+"):
+                left = Binary("+", left, self._term())
+            elif self._accept("op", "-"):
+                left = Binary("-", left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            if self._accept("op", "*"):
+                left = Binary("*", left, self._factor())
+            elif self._accept("op", "/"):
+                left = Binary("/", left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        if self._accept("op", "-"):
+            return Unary("-", self._factor())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        if self._check("number"):
+            return Constant(float(self._advance().text))
+        if self._check("ident"):
+            return SignalRef(self._advance().text)
+        for func in _SIGNAL_FUNCS:
+            if self._accept("keyword", func):
+                self._expect("op", "(")
+                name = self._expect("ident").text
+                self._expect("op", ")")
+                return TraceFunc(func, name)
+        if self._accept("keyword", "abs"):
+            self._expect("op", "(")
+            inner = self.expr()
+            self._expect("op", ")")
+            return Unary("abs", inner)
+        for func in ("min", "max"):
+            if self._accept("keyword", func):
+                self._expect("op", "(")
+                left = self.expr()
+                self._expect("op", ",")
+                right = self.expr()
+                self._expect("op", ")")
+                return Binary(func, left, right)
+        if self._accept("op", "("):
+            inner = self.expr()
+            self._expect("op", ")")
+            return inner
+        raise SpecError(
+            "expected an expression at position %d in %r, found %s"
+            % (self._current.pos, self._source, self._current)
+        )

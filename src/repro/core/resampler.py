@@ -1,0 +1,82 @@
+"""Multi-rate sampling analysis (§V-C1).
+
+The monitor's multi-rate machinery itself lives in
+:class:`~repro.logs.trace.TraceView` (held values, freshness, and the
+``delta`` / ``delta_naive`` pair).  This module provides the analysis
+helpers the E4 ablation uses to *quantify* the problem the paper hit:
+a slowly-sampled, steadily-increasing signal looks constant to a naive
+held-value difference "for three samples out of four", and jitter
+occasionally stretches that to four out of five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.logs.trace import TraceView
+
+
+@dataclass(frozen=True)
+class TrendComparison:
+    """How the naive and freshness-aware trends disagree on one signal.
+
+    Attributes:
+        rows: rows analysed.
+        naive_rising_rows: rows where the naive difference is positive.
+        fresh_rising_rows: rows where the freshness-aware difference is
+            positive.
+        spurious_stall_rows: rows where the signal is genuinely trending
+            upward (freshness-aware) but the naive difference reads
+            exactly zero — the paper's "appears constant" artifact.
+        max_updates_between: the largest number of monitor samples
+            between consecutive fresh updates (jitter can push a 4:1
+            ratio to 5).
+    """
+
+    rows: int
+    naive_rising_rows: int
+    fresh_rising_rows: int
+    spurious_stall_rows: int
+    max_updates_between: int
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of genuinely-rising rows that the naive trend misses."""
+        if self.fresh_rising_rows == 0:
+            return 0.0
+        return self.spurious_stall_rows / self.fresh_rising_rows
+
+
+def compare_trends(view: TraceView, signal: str) -> TrendComparison:
+    """Quantify naive-vs-fresh trend disagreement for one signal."""
+    naive = view.delta_naive(signal)
+    fresh = view.delta_fresh(signal)
+    ages = view.fresh_age(signal)
+    naive_rising = naive > 0
+    fresh_rising = fresh > 0
+    spurious = fresh_rising & (naive == 0)
+    max_between = int(ages.max()) if len(ages) else 0
+    return TrendComparison(
+        rows=view.n_rows,
+        naive_rising_rows=int(naive_rising.sum()),
+        fresh_rising_rows=int(fresh_rising.sum()),
+        spurious_stall_rows=int(spurious.sum()),
+        max_updates_between=max_between,
+    )
+
+
+def update_interval_histogram(view: TraceView, signal: str) -> np.ndarray:
+    """Histogram of monitor rows between consecutive fresh updates.
+
+    Index ``k`` counts the update gaps that spanned ``k`` rows.  For a
+    4:1 period ratio without jitter every gap is 4; with jitter the
+    histogram grows 3- and 5-row tails (§V-C1).
+    """
+    fresh_rows = np.flatnonzero(view.fresh(signal))
+    if len(fresh_rows) < 2:
+        return np.zeros(1, dtype=int)
+    gaps = np.diff(fresh_rows)
+    histogram = np.bincount(gaps)
+    return histogram

@@ -1,0 +1,312 @@
+"""Specification files — rule sets as plain text.
+
+The paper's workflow (experts writing rules, relaxing them as false
+positives are triaged) wants rules to live in reviewable text files, not
+code.  A ``.rules`` file holds rule and machine sections:
+
+.. code-block:: ini
+
+    # FSRACC safety specification
+    [rule rule5]
+    name = Requested decel is negative
+    formula = BrakeRequested -> RequestedDecel <= 0
+    gate = ACCEnabled
+    settle = 500ms
+    filter = persistence 2
+    description = A requested deceleration must be a deceleration.
+
+    [rule cutin]
+    formula = TargetRange < 20 -> not rising(RequestedTorque, 5)
+    gate = ACCEnabled and VehicleAhead
+    warmup = VehicleAhead != 0 and prev(VehicleAhead) == 0 : 2s
+    filter = magnitude delta(RequestedTorque) 60
+    filter = duration 200ms
+
+    [machine acc]
+    states = idle, engaged
+    initial = idle
+    transition = idle -> engaged : ACCEnabled
+    transition = engaged -> idle : not ACCEnabled
+
+Repeated ``filter`` and ``transition`` keys accumulate.  Durations accept
+``s``/``ms`` suffixes (bare numbers are seconds).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.core.intent import (
+    DurationFilter,
+    IntentFilter,
+    MagnitudeFilter,
+    PersistenceFilter,
+)
+from repro.core.monitor import Rule
+from repro.core.statemachine import StateMachine
+from repro.core.warmup import WarmupSpec
+from repro.errors import SpecError
+
+PathOrFile = Union[str, TextIO]
+
+_SECTION_RE = re.compile(r"^\[(rule|machine)\s+([A-Za-z_][A-Za-z_0-9]*)\]$")
+
+
+@dataclass
+class SpecSet:
+    """A loaded specification: rules plus their state machines."""
+
+    rules: List[Rule] = field(default_factory=list)
+    machines: List[StateMachine] = field(default_factory=list)
+
+    def monitor(self, period: float = 0.02):
+        """Build a monitor from this specification."""
+        from repro.core.monitor import Monitor
+
+        return Monitor(self.rules, machines=self.machines, period=period)
+
+
+def parse_duration(text: str) -> float:
+    """Parse ``500ms`` / ``2s`` / ``1.5`` (seconds) into seconds."""
+    text = text.strip()
+    match = re.fullmatch(r"([0-9.eE+-]+)\s*(ms|s)?", text)
+    if not match:
+        raise SpecError("cannot parse duration %r" % text)
+    try:
+        value = float(match.group(1))
+    except ValueError:
+        raise SpecError("cannot parse duration %r" % text) from None
+    if match.group(2) == "ms":
+        value /= 1000.0
+    return value
+
+
+def load_specs(source: PathOrFile) -> SpecSet:
+    """Load a ``.rules`` file (path or file object)."""
+    if hasattr(source, "read"):
+        return _parse(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as handle:
+        return _parse(handle)
+
+
+def loads_specs(text: str) -> SpecSet:
+    """Load a specification from a string."""
+    return _parse(io.StringIO(text))
+
+
+def dump_specs(specs: SpecSet, destination: PathOrFile) -> None:
+    """Write a specification set back to text.
+
+    Filters serialize for the three built-in kinds; custom filter classes
+    are rejected (they have no textual form).
+    """
+    if hasattr(destination, "write"):
+        _write(specs, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write(specs, handle)
+
+
+def dumps_specs(specs: SpecSet) -> str:
+    """Serialize a specification set to a string."""
+    buffer = io.StringIO()
+    _write(specs, buffer)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+
+def _parse(handle: TextIO) -> SpecSet:
+    specs = SpecSet()
+    section: Optional[Tuple[str, str]] = None
+    fields: Dict[str, List[str]] = {}
+
+    def flush() -> None:
+        if section is None:
+            return
+        kind, name = section
+        if kind == "rule":
+            specs.rules.append(_build_rule(name, fields))
+        else:
+            specs.machines.append(_build_machine(name, fields))
+
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SECTION_RE.match(line)
+        if match:
+            flush()
+            section = (match.group(1), match.group(2))
+            fields = {}
+            continue
+        if section is None:
+            raise SpecError(
+                "line %d: content before any [rule ...] or [machine ...] "
+                "section" % line_number
+            )
+        if "=" not in line:
+            raise SpecError("line %d: expected 'key = value'" % line_number)
+        key, _, value = line.partition("=")
+        fields.setdefault(key.strip(), []).append(value.strip())
+    flush()
+    return specs
+
+
+def _single(name: str, fields: Dict[str, List[str]], key: str) -> Optional[str]:
+    values = fields.pop(key, [])
+    if len(values) > 1:
+        raise SpecError("%s: key %r given %d times" % (name, key, len(values)))
+    return values[0] if values else None
+
+
+def _build_rule(name: str, fields: Dict[str, List[str]]) -> Rule:
+    formula = _single(name, fields, "formula")
+    if formula is None:
+        raise SpecError("rule %s: missing formula" % name)
+    title = _single(name, fields, "name") or name
+    gate = _single(name, fields, "gate")
+    settle_text = _single(name, fields, "settle")
+    warmup_text = _single(name, fields, "warmup")
+    description = _single(name, fields, "description") or ""
+
+    warmup = None
+    if warmup_text is not None:
+        trigger, sep, duration = warmup_text.rpartition(":")
+        if not sep:
+            raise SpecError(
+                "rule %s: warmup must be 'trigger : duration'" % name
+            )
+        warmup = WarmupSpec.parse(trigger.strip(), parse_duration(duration))
+
+    filters = tuple(
+        _build_filter(name, text) for text in fields.pop("filter", [])
+    )
+    if fields:
+        raise SpecError(
+            "rule %s: unknown keys: %s" % (name, ", ".join(sorted(fields)))
+        )
+    return Rule.from_text(
+        rule_id=name,
+        name=title,
+        formula=formula,
+        gate=gate,
+        warmup=warmup,
+        initial_settle=parse_duration(settle_text) if settle_text else 0.0,
+        filters=filters,
+        description=description,
+    )
+
+
+def _build_filter(rule_name: str, text: str) -> IntentFilter:
+    parts = text.split()
+    if not parts:
+        raise SpecError("rule %s: empty filter" % rule_name)
+    kind = parts[0]
+    if kind == "duration" and len(parts) == 2:
+        return DurationFilter(parse_duration(parts[1]))
+    if kind == "persistence" and len(parts) == 2:
+        try:
+            return PersistenceFilter(int(parts[1]))
+        except ValueError:
+            raise SpecError(
+                "rule %s: persistence needs an integer row count" % rule_name
+            ) from None
+    if kind == "magnitude" and len(parts) >= 3:
+        expression = " ".join(parts[1:-1])
+        try:
+            threshold = float(parts[-1])
+        except ValueError:
+            raise SpecError(
+                "rule %s: magnitude needs a numeric threshold" % rule_name
+            ) from None
+        return MagnitudeFilter(expression, threshold)
+    raise SpecError(
+        "rule %s: cannot parse filter %r (expected 'duration T', "
+        "'persistence N', or 'magnitude EXPR T')" % (rule_name, text)
+    )
+
+
+def _build_machine(name: str, fields: Dict[str, List[str]]) -> StateMachine:
+    states_text = _single(name, fields, "states")
+    initial = _single(name, fields, "initial")
+    if states_text is None or initial is None:
+        raise SpecError("machine %s: needs 'states' and 'initial'" % name)
+    states = tuple(state.strip() for state in states_text.split(","))
+    transitions = []
+    for text in fields.pop("transition", []):
+        arrow, sep, guard = text.partition(":")
+        if not sep:
+            raise SpecError(
+                "machine %s: transition must be 'src -> dst : guard'" % name
+            )
+        source, arrow_sep, target = arrow.partition("->")
+        if not arrow_sep:
+            raise SpecError(
+                "machine %s: transition must be 'src -> dst : guard'" % name
+            )
+        transitions.append(
+            (source.strip(), target.strip(), guard.strip())
+        )
+    if fields:
+        raise SpecError(
+            "machine %s: unknown keys: %s" % (name, ", ".join(sorted(fields)))
+        )
+    return StateMachine(name, states, initial, transitions)
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def _write(specs: SpecSet, handle: TextIO) -> None:
+    handle.write("# repro specification set\n")
+    for machine in specs.machines:
+        handle.write("\n[machine %s]\n" % machine.name)
+        handle.write("states = %s\n" % ", ".join(machine.states))
+        handle.write("initial = %s\n" % machine.initial)
+        for transition in machine.transitions:
+            handle.write(
+                "transition = %s -> %s : %s\n"
+                % (transition.source, transition.target, transition.guard)
+            )
+    for rule in specs.rules:
+        handle.write("\n[rule %s]\n" % rule.rule_id)
+        if rule.name != rule.rule_id:
+            handle.write("name = %s\n" % rule.name)
+        handle.write("formula = %s\n" % rule.formula)
+        if rule.gate is not None:
+            handle.write("gate = %s\n" % rule.gate)
+        if rule.initial_settle:
+            handle.write("settle = %r\n" % rule.initial_settle)
+        if rule.warmup is not None:
+            handle.write(
+                "warmup = %s : %r\n" % (rule.warmup.trigger, rule.warmup.duration)
+            )
+        for intent_filter in rule.filters:
+            handle.write("filter = %s\n" % _filter_text(rule, intent_filter))
+        if rule.description:
+            handle.write("description = %s\n" % rule.description)
+
+
+def _filter_text(rule: Rule, intent_filter: IntentFilter) -> str:
+    if isinstance(intent_filter, DurationFilter):
+        return "duration %r" % intent_filter.min_duration
+    if isinstance(intent_filter, PersistenceFilter):
+        return "persistence %d" % intent_filter.min_rows
+    if isinstance(intent_filter, MagnitudeFilter):
+        return "magnitude %s %r" % (
+            intent_filter.expression,
+            intent_filter.threshold,
+        )
+    raise SpecError(
+        "rule %s: filter %r has no textual form"
+        % (rule.rule_id, type(intent_filter).__name__)
+    )

@@ -1,0 +1,104 @@
+"""Three-valued verdicts.
+
+Offline monitoring of bounded temporal properties is inherently
+three-valued: near the end of a finite trace, a bounded ``always`` or
+``eventually`` window extends past the available data, so the monitor can
+say neither "satisfied" nor "violated".  Verdicts therefore follow Kleene
+three-valued logic: TRUE, FALSE, and UNKNOWN.
+
+Internally, evaluation uses an int8 encoding chosen so the temporal
+operators reduce to sliding-window minima/maxima:
+
+====== =====
+FALSE    0
+UNKNOWN  1
+TRUE     2
+====== =====
+
+With this encoding, ``and`` is elementwise ``min``, ``or`` is ``max``,
+``not`` is ``2 - x`` — and a windowed ``min``/``max`` padded with UNKNOWN
+gives exactly the right three-valued semantics for bounded ``always`` /
+``eventually`` on a truncated trace.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: int8 codes for the three truth values (see module docstring).
+FALSE_CODE = np.int8(0)
+UNKNOWN_CODE = np.int8(1)
+TRUE_CODE = np.int8(2)
+
+
+class Verdict(enum.Enum):
+    """A three-valued monitoring verdict."""
+
+    FALSE = 0
+    UNKNOWN = 1
+    TRUE = 2
+
+    @classmethod
+    def from_code(cls, code: int) -> "Verdict":
+        """Decode an int8 truth code."""
+        return cls(int(code))
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "Verdict":
+        """Lift a Python boolean."""
+        return cls.TRUE if value else cls.FALSE
+
+    def __and__(self, other: "Verdict") -> "Verdict":
+        return Verdict(min(self.value, other.value))
+
+    def __or__(self, other: "Verdict") -> "Verdict":
+        return Verdict(max(self.value, other.value))
+
+    def __invert__(self) -> "Verdict":
+        return Verdict(2 - self.value)
+
+    def implies(self, other: "Verdict") -> "Verdict":
+        """Three-valued material implication."""
+        return (~self) | other
+
+    @property
+    def is_true(self) -> bool:
+        """Definitely satisfied."""
+        return self is Verdict.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        """Definitely violated."""
+        return self is Verdict.FALSE
+
+    @property
+    def is_unknown(self) -> bool:
+        """Not decidable on the available trace."""
+        return self is Verdict.UNKNOWN
+
+
+def codes_to_bools(codes: np.ndarray) -> np.ndarray:
+    """TRUE rows of a verdict code array, as a boolean mask."""
+    return codes == TRUE_CODE
+
+
+def bools_to_codes(mask: np.ndarray) -> np.ndarray:
+    """Lift a boolean array to verdict codes (no UNKNOWNs)."""
+    return np.where(mask, TRUE_CODE, FALSE_CODE).astype(np.int8)
+
+
+def summarize_codes(codes: np.ndarray) -> Verdict:
+    """Collapse per-row codes into one verdict.
+
+    FALSE if any row is FALSE (a violation exists somewhere); otherwise
+    UNKNOWN if any row could not be decided; otherwise TRUE.
+    """
+    if len(codes) == 0:
+        return Verdict.UNKNOWN
+    if (codes == FALSE_CODE).any():
+        return Verdict.FALSE
+    if (codes == UNKNOWN_CODE).any():
+        return Verdict.UNKNOWN
+    return Verdict.TRUE

@@ -1,0 +1,151 @@
+"""Violation records — the evidence a test oracle reports.
+
+A violation is a maximal run of consecutive FALSE rows for one rule.
+Each record carries its time span, duration, and a *witness*: the held
+values of the rule's signals at the first violating row, which is what an
+engineer triaging a test log looks at first.  Severity buckets follow the
+paper's triage vocabulary — it distinguished "extremely short transient"
+violations (one cycle of bad ``RequestedDecel``) from sustained unsafe
+behaviour (accelerating into the target for many seconds).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.types import FALSE_CODE
+
+#: Violations at or below this duration are transients, seconds.
+TRANSIENT_LIMIT = 0.1
+#: Violations at or below this duration (and above transient) are brief.
+BRIEF_LIMIT = 0.5
+
+
+class Severity(enum.Enum):
+    """Coarse triage bucket by violation duration."""
+
+    TRANSIENT = "transient"
+    BRIEF = "brief"
+    SUSTAINED = "sustained"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One maximal run of violating rows.
+
+    Attributes:
+        rule_id: the violated rule.
+        start_row/end_row: inclusive row span in the trace view.
+        start_time/end_time: times of those rows, seconds.
+        period: the view's sample period (for duration computation).
+        witness: held signal values at the first violating row.
+    """
+
+    rule_id: str
+    start_row: int
+    end_row: int
+    start_time: float
+    end_time: float
+    period: float
+    witness: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> int:
+        """Number of violating rows."""
+        return self.end_row - self.start_row + 1
+
+    @property
+    def duration(self) -> float:
+        """Span of the violation, seconds (one row counts as one period)."""
+        return self.rows * self.period
+
+    @property
+    def severity(self) -> Severity:
+        """Triage bucket by duration."""
+        if self.duration <= TRANSIENT_LIMIT:
+            return Severity.TRANSIENT
+        if self.duration <= BRIEF_LIMIT:
+            return Severity.BRIEF
+        return Severity.SUSTAINED
+
+    def __str__(self) -> str:
+        return "%s violated %.3f..%.3fs (%d rows, %s)" % (
+            self.rule_id,
+            self.start_time,
+            self.end_time,
+            self.rows,
+            self.severity.value,
+        )
+
+
+def extract_violations(
+    codes: np.ndarray,
+    times: np.ndarray,
+    rule_id: str,
+    period: float,
+    witness_values: Optional[Mapping[str, np.ndarray]] = None,
+) -> List[Violation]:
+    """Find maximal FALSE runs in a verdict code array."""
+    failing = codes == FALSE_CODE
+    if not failing.any():
+        return []
+    boundaries = np.diff(failing.astype(np.int8))
+    starts = list(np.flatnonzero(boundaries == 1) + 1)
+    ends = list(np.flatnonzero(boundaries == -1))
+    if failing[0]:
+        starts.insert(0, 0)
+    if failing[-1]:
+        ends.append(len(failing) - 1)
+    violations = []
+    for start, end in zip(starts, ends):
+        witness: Dict[str, float] = {}
+        if witness_values:
+            witness = {
+                name: float(values[start])
+                for name, values in witness_values.items()
+            }
+        violations.append(
+            Violation(
+                rule_id=rule_id,
+                start_row=int(start),
+                end_row=int(end),
+                start_time=float(times[start]),
+                end_time=float(times[end]),
+                period=period,
+                witness=witness,
+            )
+        )
+    return violations
+
+
+def merge_close(
+    violations: List[Violation], max_gap: float
+) -> List[Violation]:
+    """Merge violations separated by at most ``max_gap`` seconds.
+
+    Useful when triaging: a control oscillation can chop one underlying
+    event into many short runs.
+    """
+    if not violations:
+        return []
+    ordered = sorted(violations, key=lambda v: v.start_row)
+    merged = [ordered[0]]
+    for violation in ordered[1:]:
+        last = merged[-1]
+        if violation.start_time - last.end_time <= max_gap:
+            merged[-1] = Violation(
+                rule_id=last.rule_id,
+                start_row=last.start_row,
+                end_row=violation.end_row,
+                start_time=last.start_time,
+                end_time=violation.end_time,
+                period=last.period,
+                witness=last.witness,
+            )
+        else:
+            merged.append(violation)
+    return merged

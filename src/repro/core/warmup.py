@@ -1,0 +1,68 @@
+"""Warm-up handling for discrete value jumps (§V-C2).
+
+Some CPS signals represent continuous physical quantities but jump
+discretely when they *activate* — the paper's example is ``TargetRange``,
+which is 0 with no target and leaps to the true range on acquisition.
+Rules that difference such signals fire false alarms at every activation
+unless the check is "warmed up": suppressed for a short window after the
+activation event, letting change-tracking state initialize.
+
+The paper calls for "a uniform way of warming up monitors for data that
+changes state abruptly"; :class:`WarmupSpec` is that mechanism.  A spec
+names a *trigger* formula (the activation event) and a duration; the
+monitor masks rule evaluation for ``duration`` seconds after every row
+where the trigger is TRUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.ast import Formula
+from repro.core.evaluator import EvalContext, evaluate_formula
+from repro.core.parser import parse_formula
+from repro.core.types import TRUE_CODE
+
+
+@dataclass(frozen=True)
+class WarmupSpec:
+    """Suppress checking for ``duration`` seconds after each trigger row.
+
+    The trigger is typically an activation edge, written with ``prev``,
+    e.g. ``VehicleAhead and prev(VehicleAhead) == 0`` (target acquired).
+    """
+
+    trigger: Formula
+    duration: float
+
+    @classmethod
+    def parse(cls, trigger_text: str, duration: float) -> "WarmupSpec":
+        """Build a spec from trigger source text."""
+        return cls(parse_formula(trigger_text), duration)
+
+    def mask(self, ctx: EvalContext) -> np.ndarray:
+        """Boolean mask of rows to suppress (True = masked)."""
+        codes = evaluate_formula(self.trigger, ctx)
+        triggered = (codes == TRUE_CODE).astype(np.int8)
+        width = int(round(self.duration / ctx.view.period))
+        if width <= 0:
+            return triggered > 0
+        padded = np.concatenate(
+            [np.zeros(width, dtype=np.int8), triggered]
+        )
+        windows = np.lib.stride_tricks.sliding_window_view(padded, width + 1)
+        return windows.max(axis=1) > 0
+
+
+def activation_warmup(signal: str, duration: float) -> WarmupSpec:
+    """Convenience: warm up after ``signal`` turns from zero to nonzero.
+
+    This is the §V-C2 pattern for signals like ``VehicleAhead`` /
+    ``TargetRange`` that jump on activation.
+    """
+    return WarmupSpec.parse(
+        "%s != 0 and prev(%s) == 0" % (signal, signal), duration
+    )

@@ -1,0 +1,29 @@
+"""Top-level exception base for the whole library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces (non-monotonic timestamps, unknown
+    signals, empty traces where data is required)."""
+
+
+class SpecError(ReproError):
+    """Raised for specification-language problems (lex/parse/type errors)."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a well-formed specification cannot be evaluated against
+    a trace (unknown signal references, missing state machines)."""
+
+
+class SimulationError(ReproError):
+    """Raised for simulator misconfiguration (bad wiring, bad scenarios)."""
+
+
+class InjectionError(ReproError):
+    """Raised for invalid fault-injection requests."""

@@ -1,0 +1,42 @@
+"""HIL testbench — the dSPACE/ControlDesk stand-in.
+
+Co-simulation of the vehicle plant, CAN network and FSRACC module, plus
+the injection multiplexors, type-check profiles, trace capture, and a
+ControlDesk-style scripting interface.
+"""
+
+from repro.hil.controldesk import ControlDesk, Layout, PanelControl
+from repro.hil.injection import ActiveInjection, InjectionHarness, InjectionMode
+from repro.hil.simulator import (
+    CONTROL_PERIOD,
+    PHYSICS_DT,
+    HilSimulator,
+    SimulationResult,
+)
+from repro.hil.tracing import TraceRecorder
+from repro.hil.typecheck import (
+    CheckProfile,
+    CheckResult,
+    HIL_PROFILE,
+    InjectionTypeChecker,
+    VEHICLE_PROFILE,
+)
+
+__all__ = [
+    "ActiveInjection",
+    "CONTROL_PERIOD",
+    "CheckProfile",
+    "CheckResult",
+    "ControlDesk",
+    "HIL_PROFILE",
+    "HilSimulator",
+    "InjectionHarness",
+    "InjectionMode",
+    "InjectionTypeChecker",
+    "Layout",
+    "PHYSICS_DT",
+    "PanelControl",
+    "SimulationResult",
+    "TraceRecorder",
+    "VEHICLE_PROFILE",
+]

@@ -1,0 +1,219 @@
+"""ControlDesk stand-in — scripted and manual access to the running HIL.
+
+The paper drove its robustness tests through dSPACE ControlDesk: Python
+scripts used the ``rtplib`` real-time access library, and manual fault
+exploration used a ControlDesk *Layout* with numeric input boxes bound to
+the injection multiplexors.  This module reproduces both access paths on
+top of :class:`~repro.hil.simulator.HilSimulator`:
+
+* a flat variable namespace with ``read``/``write`` (the rtplib model);
+* :class:`Layout` panels binding labelled controls to those variables;
+* trace capture of selected measurement signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.can.fsracc import FSRACC_INPUTS
+from repro.errors import SimulationError
+from repro.hil.simulator import HilSimulator
+from repro.logs.trace import Trace
+
+Getter = Callable[[], float]
+Setter = Callable[[float], None]
+
+
+@dataclass(frozen=True)
+class PanelControl:
+    """One control on a layout: a labelled, possibly writable variable."""
+
+    label: str
+    variable: str
+    writable: bool
+
+
+class Layout:
+    """A named panel of controls, like a ControlDesk layout file."""
+
+    def __init__(self, name: str, desk: "ControlDesk") -> None:
+        self.name = name
+        self._desk = desk
+        self._controls: Dict[str, PanelControl] = {}
+
+    def add_control(self, label: str, variable: str, writable: bool) -> None:
+        """Bind a labelled control to a desk variable."""
+        if label in self._controls:
+            raise SimulationError("layout %s: duplicate label %s" % (self.name, label))
+        self._controls[label] = PanelControl(label, variable, writable)
+
+    def labels(self) -> Tuple[str, ...]:
+        """All control labels on the panel."""
+        return tuple(self._controls)
+
+    def read(self, label: str) -> float:
+        """Read the value behind a control."""
+        return self._desk.read(self._control(label).variable)
+
+    def set(self, label: str, value: float) -> None:
+        """Type a value into a (writable) numeric input box."""
+        control = self._control(label)
+        if not control.writable:
+            raise SimulationError(
+                "layout %s: control %s is read-only" % (self.name, label)
+            )
+        self._desk.write(control.variable, value)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Read every control at once (a refresh of the panel)."""
+        return {label: self.read(label) for label in self._controls}
+
+    def _control(self, label: str) -> PanelControl:
+        try:
+            return self._controls[label]
+        except KeyError:
+            raise SimulationError(
+                "layout %s has no control %s" % (self.name, label)
+            ) from None
+
+
+class ControlDesk:
+    """Flat-namespace scripting access to a running HIL simulator."""
+
+    def __init__(self, simulator: HilSimulator) -> None:
+        self.simulator = simulator
+        self._getters: Dict[str, Getter] = {}
+        self._setters: Dict[str, Setter] = {}
+        self._staged_injections: Dict[str, float] = {}
+        self._register_builtin_variables()
+
+    # ------------------------------------------------------------------
+    # rtplib-style variable access
+    # ------------------------------------------------------------------
+
+    def variables(self) -> Tuple[str, ...]:
+        """All readable variable paths, sorted."""
+        return tuple(sorted(self._getters))
+
+    def read(self, name: str) -> float:
+        """Read one variable."""
+        try:
+            return self._getters[name]()
+        except KeyError:
+            raise SimulationError("unknown variable %s" % name) from None
+
+    def write(self, name: str, value: float) -> None:
+        """Write one (writable) variable."""
+        setter = self._setters.get(name)
+        if setter is None:
+            if name in self._getters:
+                raise SimulationError("variable %s is read-only" % name)
+            raise SimulationError("unknown variable %s" % name)
+        setter(value)
+
+    def step(self, seconds: float) -> None:
+        """Let the model run for ``seconds`` of simulated time."""
+        self.simulator.run_for(seconds)
+
+    def capture(self, seconds: float) -> Trace:
+        """Run for ``seconds`` and return the trace captured in that span.
+
+        The simulator's recorder keeps accumulating; this returns the
+        slice belonging to the capture window, like a ControlDesk trace
+        instrumentation session.
+        """
+        start = self.simulator.time
+        self.simulator.run_for(seconds)
+        return self.simulator.recorder.trace.sliced(
+            start, self.simulator.time, name="capture@%.2fs" % start
+        )
+
+    # ------------------------------------------------------------------
+    # Layouts
+    # ------------------------------------------------------------------
+
+    def injection_layout(self) -> Layout:
+        """The manual fault-exploration panel from §III-A.
+
+        One enable/value control pair per FSRACC input signal, plus
+        read-only vehicle state displays.
+        """
+        layout = Layout("fsracc-injection", self)
+        for signal in FSRACC_INPUTS:
+            layout.add_control(
+                "%s value" % signal, "Inject/%s/Value" % signal, writable=True
+            )
+            layout.add_control(
+                "%s enable" % signal, "Inject/%s/Enable" % signal, writable=True
+            )
+        layout.add_control("Velocity", "Plant/Velocity", writable=False)
+        layout.add_control("Lead gap", "Plant/LeadGap", writable=False)
+        layout.add_control("ACC mode", "Acc/ModeCode", writable=False)
+        return layout
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _register_builtin_variables(self) -> None:
+        sim = self.simulator
+        self._getters["Plant/Velocity"] = lambda: sim.car.velocity
+        self._getters["Plant/Position"] = lambda: sim.car.position
+        self._getters["Plant/EngineTorque"] = lambda: sim.car.engine.torque
+        self._getters["Plant/LeadGap"] = lambda: (
+            sim.lead.range_from(sim.car.position)
+            if sim.lead.present
+            else float("nan")
+        )
+        self._getters["Acc/ModeCode"] = lambda: float(
+            list(type(sim.acc.mode)).index(sim.acc.mode)
+        )
+        self._getters["Sim/Time"] = lambda: sim.time
+        self._getters["Sim/Collisions"] = lambda: float(sim.collisions)
+
+        for field in ("accel_pedal", "brake_pressure", "set_speed", "headway", "acc_on"):
+            self._register_driver_override(field)
+        for signal in FSRACC_INPUTS:
+            self._register_injection(signal)
+
+    def _register_driver_override(self, field: str) -> None:
+        sim = self.simulator
+        name = "Driver/%s" % field
+
+        def setter(value: float, field: str = field) -> None:
+            sim.set_driver_override(field, value)
+
+        self._getters[name] = lambda field=field: float(
+            sim._driver_overrides.get(field, float("nan"))
+        )
+        self._setters[name] = setter
+
+    def _register_injection(self, signal: str) -> None:
+        sim = self.simulator
+        value_name = "Inject/%s/Value" % signal
+        enable_name = "Inject/%s/Enable" % signal
+
+        def set_value(value: float, signal: str = signal) -> None:
+            self._staged_injections[signal] = value
+
+        def set_enable(value: float, signal: str = signal) -> None:
+            if value:
+                staged = self._staged_injections.get(signal, 0.0)
+                kind = sim.database.signal(signal).kind.value
+                if kind == "bool":
+                    staged = bool(staged)
+                elif kind == "enum":
+                    staged = int(staged)
+                sim.injection.inject_value(signal, staged)
+            else:
+                sim.injection.clear(signal)
+
+        self._getters[value_name] = lambda signal=signal: float(
+            self._staged_injections.get(signal, 0.0)
+        )
+        self._setters[value_name] = set_value
+        self._getters[enable_name] = lambda signal=signal: float(
+            sim.injection.is_enabled(signal)
+        )
+        self._setters[enable_name] = set_enable

@@ -1,0 +1,97 @@
+"""On-disk trace format.
+
+Traces are stored as plain CSV — one update per line — because that is
+what vehicle logging tools (ControlDesk trace capture included) export and
+what engineers can inspect by eye:
+
+.. code-block:: text
+
+    # repro-trace v1 name=highway-run-3
+    time,signal,value
+    0.020000,Velocity,27.500000
+    0.020500,TargetRange,43.200000
+
+Exceptional float values round-trip: NaN is written as ``nan`` and the
+infinities as ``inf`` / ``-inf``, all of which Python's ``float`` parses.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO, Union
+
+from repro.errors import TraceError
+from repro.logs.trace import Trace
+
+#: Magic first-line prefix identifying a trace file.
+HEADER_PREFIX = "# repro-trace v1"
+_COLUMNS = "time,signal,value"
+
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
+
+
+def write_trace(trace: Trace, destination: PathOrFile) -> None:
+    """Write ``trace`` to a path or text file object."""
+    if hasattr(destination, "write"):
+        _write(trace, destination)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write(trace, handle)
+
+
+def read_trace(source: PathOrFile) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    if hasattr(source, "read"):
+        return _read(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as handle:
+        return _read(handle)
+
+
+def trace_to_string(trace: Trace) -> str:
+    """Serialize a trace to the CSV text format."""
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_string(text: str) -> Trace:
+    """Parse a trace from the CSV text format."""
+    return _read(io.StringIO(text))
+
+
+def _write(trace: Trace, handle: TextIO) -> None:
+    name = (" name=%s" % trace.name) if trace.name else ""
+    handle.write("%s%s\n" % (HEADER_PREFIX, name))
+    handle.write("%s\n" % _COLUMNS)
+    for timestamp, signal, value in trace.events():
+        handle.write("%.6f,%s,%r\n" % (timestamp, signal, value))
+
+
+def _read(handle: TextIO) -> Trace:
+    header = handle.readline().rstrip("\n")
+    if not header.startswith(HEADER_PREFIX):
+        raise TraceError("not a repro trace file (bad header: %r)" % header)
+    name = ""
+    if "name=" in header:
+        name = header.split("name=", 1)[1].strip()
+    columns = handle.readline().rstrip("\n")
+    if columns != _COLUMNS:
+        raise TraceError("unexpected column header: %r" % columns)
+    trace = Trace(name)
+    for line_number, line in enumerate(handle, start=3):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 3:
+            raise TraceError(
+                "line %d: expected 3 fields, got %d" % (line_number, len(parts))
+            )
+        try:
+            timestamp = float(parts[0])
+            value = float(parts[2])
+        except ValueError as exc:
+            raise TraceError("line %d: %s" % (line_number, exc)) from None
+        trace.record(parts[1], timestamp, value)
+    return trace

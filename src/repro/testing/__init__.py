@@ -1,0 +1,70 @@
+"""Robustness-testing framework: Ballista / random / bit-flip injection
+campaigns and the Table I result matrix."""
+
+from repro.testing.ballista import (
+    BALLISTA_FLOATS,
+    ballista_values,
+    random_valid_values,
+)
+from repro.testing.bitflip import (
+    FLIPS_PER_SIZE,
+    FLIP_SIZES,
+    bitflip_offsets,
+    bitflip_schedule,
+)
+from repro.testing.campaign import (
+    GAP_TIME,
+    HOLD_TIME,
+    InjectionTest,
+    MULTI_VALUES,
+    RobustnessCampaign,
+    SETTLE_TIME,
+    TestOutcome,
+    VALUES_PER_TEST,
+    multi_signal_tests,
+    single_signal_tests,
+    table1_tests,
+)
+from repro.testing.random_injection import FLOAT_RANGE, random_values
+from repro.testing.reproducer import ReproductionResult, reproduce
+from repro.testing.results import (
+    CRITICAL_SIGNALS,
+    PAPER_TABLE1,
+    QUIET_SIGNALS,
+    RANGE_PLUS,
+    SINGLE_TARGETS,
+    Table1,
+    TableRow,
+)
+
+__all__ = [
+    "BALLISTA_FLOATS",
+    "CRITICAL_SIGNALS",
+    "FLIPS_PER_SIZE",
+    "FLIP_SIZES",
+    "FLOAT_RANGE",
+    "GAP_TIME",
+    "HOLD_TIME",
+    "InjectionTest",
+    "MULTI_VALUES",
+    "PAPER_TABLE1",
+    "QUIET_SIGNALS",
+    "RANGE_PLUS",
+    "ReproductionResult",
+    "RobustnessCampaign",
+    "SETTLE_TIME",
+    "SINGLE_TARGETS",
+    "Table1",
+    "TableRow",
+    "TestOutcome",
+    "VALUES_PER_TEST",
+    "ballista_values",
+    "bitflip_offsets",
+    "bitflip_schedule",
+    "multi_signal_tests",
+    "random_valid_values",
+    "random_values",
+    "reproduce",
+    "single_signal_tests",
+    "table1_tests",
+]

@@ -1,0 +1,272 @@
+"""Robustness-testing campaign — the §IV test plan.
+
+For each of the eight single-signal targets the campaign runs three
+tests (Ballista, random value, and 1/2/4-bit flips), plus the eight
+multi-signal tests of Table I.  Each injection is held for 20 s "to
+allow time for the fault to manifest into a specification violation",
+with a short pass-through gap between injections so the system re-settles.
+The captured trace of every test is checked by the monitor, yielding one
+S/V letter per rule — a Table I row.
+
+Every test runs on a fresh HIL testbench instance (scripted engagement
+behind a steady lead), with its RNG seeded deterministically from the
+campaign seed and the row label, so the whole table is reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.can.fsracc import FSRACC_INPUTS
+from repro.core.monitor import Monitor, MonitorReport, Rule
+from repro.errors import InjectionError
+from repro.hil.simulator import HilSimulator
+from repro.hil.typecheck import HIL_PROFILE, InjectionTypeChecker
+from repro.logs.trace import Trace
+from repro.rules.safety_rules import RULE_IDS, paper_rules
+from repro.testing.ballista import ballista_values
+from repro.testing.bitflip import bitflip_offsets, bitflip_schedule
+from repro.testing.random_injection import random_values
+from repro.testing.results import (
+    RANGE_PLUS,
+    SINGLE_TARGETS,
+    Table1,
+    TableRow,
+)
+from repro.vehicle.scenario import steady_follow
+
+#: Seconds each injected fault is held (§III-A).
+HOLD_TIME = 20.0
+#: Pass-through recovery time between injections.
+GAP_TIME = 5.0
+#: Settling time before the first injection (engage + reach steady state).
+SETTLE_TIME = 15.0
+#: Injection values per single-signal Random/Ballista test (§IV).
+VALUES_PER_TEST = 8
+#: Injection values per multi-signal test (§IV).
+MULTI_VALUES = 20
+
+
+@dataclass(frozen=True)
+class InjectionTest:
+    """One Table I row specification."""
+
+    label: str
+    kind: str  # Random | Ballista | Bitflips | mRandom | mBallista | mBitflipN
+    targets: Tuple[str, ...]
+
+
+@dataclass
+class TestOutcome:
+    """Result of running one injection test."""
+
+    test: InjectionTest
+    report: MonitorReport
+    letters: Dict[str, str]
+    collisions: int
+    rejections: int
+    trace: Optional[Trace] = None
+
+    def to_row(self) -> TableRow:
+        """Convert to a Table I row."""
+        return TableRow(
+            label=self.test.label,
+            kind=self.test.kind,
+            targets=self.test.targets,
+            letters=dict(self.letters),
+            collisions=self.collisions,
+            rejections=self.rejections,
+        )
+
+
+def single_signal_tests() -> List[InjectionTest]:
+    """The 24 single-signal tests, in the paper's row order."""
+    tests = []
+    for kind in ("Random", "Ballista", "Bitflips"):
+        for signal in SINGLE_TARGETS:
+            tests.append(
+                InjectionTest("%s %s" % (kind, signal), kind, (signal,))
+            )
+    return tests
+
+
+def multi_signal_tests() -> List[InjectionTest]:
+    """The 8 multi-signal tests, in the paper's row order."""
+    range_plus_set = RANGE_PLUS + ("ACCSetSpeed",)
+    everything = tuple(FSRACC_INPUTS)
+    return [
+        InjectionTest("mBallista Range+", "mBallista", RANGE_PLUS),
+        InjectionTest("mBallista All", "mBallista", everything),
+        InjectionTest("mRandom Range+", "mRandom", RANGE_PLUS),
+        InjectionTest("mRandom All", "mRandom", everything),
+        InjectionTest("mRandom Range+Set", "mRandom", range_plus_set),
+        InjectionTest("mBitflip1 Range+", "mBitflip1", RANGE_PLUS),
+        InjectionTest("mBitflip2 Range+", "mBitflip2", RANGE_PLUS),
+        InjectionTest("mBitflip4 Range+", "mBitflip4", RANGE_PLUS),
+    ]
+
+
+def table1_tests() -> List[InjectionTest]:
+    """All 32 Table I rows, in order."""
+    return single_signal_tests() + multi_signal_tests()
+
+
+class RobustnessCampaign:
+    """Runs injection tests and assembles the Table I matrix."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        checker: InjectionTypeChecker = HIL_PROFILE,
+        seed: int = 2014,
+        hold_time: float = HOLD_TIME,
+        gap_time: float = GAP_TIME,
+        settle_time: float = SETTLE_TIME,
+        keep_traces: bool = False,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else paper_rules()
+        self.checker = checker
+        self.seed = seed
+        self.hold_time = hold_time
+        self.gap_time = gap_time
+        self.settle_time = settle_time
+        self.keep_traces = keep_traces
+        self.monitor = Monitor(self.rules)
+
+    # ------------------------------------------------------------------
+
+    def run_test(self, test: InjectionTest) -> TestOutcome:
+        """Run one injection test on a fresh testbench."""
+        derived_seed = self._derive_seed(test.label)
+        rng = np.random.default_rng(derived_seed)
+        simulator = HilSimulator(
+            scenario=steady_follow(duration=1e9),
+            checker=self.checker,
+            seed=derived_seed,
+            trace_name=test.label,
+        )
+        simulator.run_for(self.settle_time)
+        plan = self._injection_plan(test, simulator, rng)
+        for apply_injection in plan:
+            apply_injection(simulator)
+            simulator.run_for(self.hold_time)
+            simulator.injection.clear_all()
+            simulator.run_for(self.gap_time)
+        result = simulator.result()
+        report = self.monitor.check(result.trace)
+        letters = {rule_id: report.letter(rule_id) for rule_id in RULE_IDS}
+        return TestOutcome(
+            test=test,
+            report=report,
+            letters=letters,
+            collisions=result.collisions,
+            rejections=result.injection_rejections,
+            trace=result.trace if self.keep_traces else None,
+        )
+
+    def run_table1(
+        self,
+        tests: Optional[Sequence[InjectionTest]] = None,
+        progress: Optional[Callable[[InjectionTest, TestOutcome], None]] = None,
+    ) -> Table1:
+        """Run every Table I test and assemble the matrix."""
+        table = Table1()
+        for test in tests if tests is not None else table1_tests():
+            outcome = self.run_test(test)
+            table.rows.append(outcome.to_row())
+            if progress is not None:
+                progress(test, outcome)
+        return table
+
+    # ------------------------------------------------------------------
+
+    def _derive_seed(self, label: str) -> int:
+        return zlib.crc32(("%d/%s" % (self.seed, label)).encode("utf-8"))
+
+    def _injection_plan(
+        self,
+        test: InjectionTest,
+        simulator: HilSimulator,
+        rng: np.random.Generator,
+    ) -> List[Callable[[HilSimulator], None]]:
+        """Build the per-injection closures for one test."""
+        kind = test.kind
+        if kind in ("Random", "Ballista"):
+            return self._value_plan(test, simulator, rng, VALUES_PER_TEST)
+        if kind in ("mRandom", "mBallista"):
+            return self._value_plan(test, simulator, rng, MULTI_VALUES)
+        if kind == "Bitflips":
+            return self._single_bitflip_plan(test, simulator, rng)
+        if kind.startswith("mBitflip"):
+            return self._multi_bitflip_plan(test, simulator, rng)
+        raise InjectionError("unknown injection kind %r" % kind)
+
+    def _value_plan(
+        self,
+        test: InjectionTest,
+        simulator: HilSimulator,
+        rng: np.random.Generator,
+        count: int,
+    ) -> List[Callable[[HilSimulator], None]]:
+        generator = (
+            ballista_values
+            if test.kind in ("Ballista", "mBallista")
+            else random_values
+        )
+        values_by_target = {
+            target: generator(simulator.database.signal(target), count, rng)
+            for target in test.targets
+        }
+
+        def make(step: int) -> Callable[[HilSimulator], None]:
+            def apply(sim: HilSimulator) -> None:
+                for target in test.targets:
+                    sim.injection.inject_value(
+                        target, values_by_target[target][step]
+                    )
+
+            return apply
+
+        return [make(step) for step in range(count)]
+
+    def _single_bitflip_plan(
+        self,
+        test: InjectionTest,
+        simulator: HilSimulator,
+        rng: np.random.Generator,
+    ) -> List[Callable[[HilSimulator], None]]:
+        (target,) = test.targets
+        schedule = bitflip_schedule(simulator.database.signal(target), rng)
+
+        def make(offsets: Tuple[int, ...]) -> Callable[[HilSimulator], None]:
+            def apply(sim: HilSimulator) -> None:
+                sim.injection.inject_bitflips(target, offsets)
+
+            return apply
+
+        return [make(offsets) for offsets in schedule]
+
+    def _multi_bitflip_plan(
+        self,
+        test: InjectionTest,
+        simulator: HilSimulator,
+        rng: np.random.Generator,
+    ) -> List[Callable[[HilSimulator], None]]:
+        n_bits = int(test.kind[len("mBitflip"):])
+
+        def make(step: int) -> Callable[[HilSimulator], None]:
+            def apply(sim: HilSimulator) -> None:
+                for target in test.targets:
+                    signal = sim.database.signal(target)
+                    size = min(n_bits, signal.bit_length)
+                    sim.injection.inject_bitflips(
+                        target, bitflip_offsets(signal, size, rng)
+                    )
+
+            return apply
+
+        return [make(step) for step in range(MULTI_VALUES)]

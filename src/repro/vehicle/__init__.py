@@ -1,0 +1,75 @@
+"""Vehicle dynamics substrate — the CARSIM stand-in.
+
+Longitudinal ego-vehicle dynamics, road grade profiles, scripted lead
+vehicles, the forward range sensor, and scripted driver behaviour,
+composed into declarative driving scenarios.
+"""
+
+from repro.vehicle.brakes import BrakeSystem
+from repro.vehicle.driver import DriverAction, DriverScript, DriverState
+from repro.vehicle.dynamics import GRAVITY, CarState, LongitudinalCar
+from repro.vehicle.engine import Engine
+from repro.vehicle.lead import (
+    Appear,
+    ChangeSpeed,
+    Disappear,
+    LeadEvent,
+    LeadVehicle,
+)
+from repro.vehicle.road import (
+    FlatRoad,
+    GradeSegment,
+    RoadProfile,
+    RollingHills,
+    SegmentedRoad,
+)
+from repro.vehicle.scenario import (
+    STANDARD_SCENARIOS,
+    Scenario,
+    aggressive_cut_ins,
+    cut_in,
+    free_cruise,
+    hard_brake_lead,
+    hills_cruise,
+    mountain_pass,
+    overtake,
+    steady_follow,
+    stop_and_go,
+    traffic_jam,
+)
+from repro.vehicle.sensors import RangeSensor, TargetMeasurement
+
+__all__ = [
+    "Appear",
+    "BrakeSystem",
+    "CarState",
+    "ChangeSpeed",
+    "Disappear",
+    "DriverAction",
+    "DriverScript",
+    "DriverState",
+    "Engine",
+    "FlatRoad",
+    "GRAVITY",
+    "GradeSegment",
+    "LeadEvent",
+    "LeadVehicle",
+    "LongitudinalCar",
+    "RangeSensor",
+    "RoadProfile",
+    "RollingHills",
+    "STANDARD_SCENARIOS",
+    "Scenario",
+    "SegmentedRoad",
+    "TargetMeasurement",
+    "aggressive_cut_ins",
+    "cut_in",
+    "free_cruise",
+    "hard_brake_lead",
+    "hills_cruise",
+    "mountain_pass",
+    "overtake",
+    "steady_follow",
+    "stop_and_go",
+    "traffic_jam",
+]

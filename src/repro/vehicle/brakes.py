@@ -1,0 +1,66 @@
+"""Brake system model.
+
+Two actors can brake the vehicle: the ACC (through ``RequestedDecel``,
+m/s²) and the driver (through pedal pressure, bar).  The brake controller
+honours whichever demands more deceleration, tracks the demand with a
+first-order lag, and saturates at the friction limit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+
+class BrakeSystem:
+    """First-order deceleration-tracking brake controller.
+
+    Attributes:
+        max_decel: strongest achievable deceleration, m/s² (positive).
+        time_constant: demand tracking lag, seconds.
+        pedal_gain: driver pedal pressure (bar) to deceleration (m/s²).
+    """
+
+    def __init__(
+        self,
+        max_decel: float = 9.5,
+        time_constant: float = 0.12,
+        pedal_gain: float = 0.06,
+    ) -> None:
+        if max_decel <= 0 or time_constant <= 0 or pedal_gain <= 0:
+            raise SimulationError("brake parameters must be positive")
+        self.max_decel = max_decel
+        self.time_constant = time_constant
+        self.pedal_gain = pedal_gain
+        self.decel = 0.0
+
+    def reset(self) -> None:
+        """Release the brakes."""
+        self.decel = 0.0
+
+    def step(
+        self,
+        dt: float,
+        requested_decel: float,
+        brake_requested: bool,
+        pedal_pressure: float,
+    ) -> float:
+        """Advance one step; returns achieved deceleration (m/s², >= 0).
+
+        ``requested_decel`` follows the paper's sign convention: the ACC
+        requests a *negative* value for deceleration.  A positive or
+        non-finite ACC request is ignored by the brake controller (it only
+        actuates on sane demands) — but note the monitor still sees the
+        bad request on the bus, which is what Rule #5 checks.
+        """
+        acc_demand = 0.0
+        if brake_requested and math.isfinite(requested_decel) and requested_decel < 0:
+            acc_demand = -requested_decel
+        driver_demand = 0.0
+        if math.isfinite(pedal_pressure) and pedal_pressure > 0:
+            driver_demand = pedal_pressure * self.pedal_gain
+        target = min(self.max_decel, max(acc_demand, driver_demand))
+        alpha = dt / (self.time_constant + dt)
+        self.decel += alpha * (target - self.decel)
+        return self.decel

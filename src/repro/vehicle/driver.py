@@ -1,0 +1,83 @@
+"""Scripted driver model.
+
+The driver interacts with the FSRACC exactly the way the paper's test
+scenarios require: switching the feature on, dialing a set speed and a
+headway selection, and occasionally touching the pedals (which is how a
+real driver cancels or overrides cruise control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DriverState:
+    """The driver-controlled inputs at one instant."""
+
+    accel_pedal: float = 0.0
+    brake_pressure: float = 0.0
+    set_speed: float = 0.0
+    headway: int = 2
+    acc_on: bool = False
+
+
+@dataclass(frozen=True)
+class DriverAction:
+    """A change to apply at ``time``; ``None`` fields keep their value."""
+
+    time: float
+    accel_pedal: Optional[float] = None
+    brake_pressure: Optional[float] = None
+    set_speed: Optional[float] = None
+    headway: Optional[int] = None
+    acc_on: Optional[bool] = None
+
+
+class DriverScript:
+    """Piecewise-constant driver behaviour defined by timed actions."""
+
+    def __init__(
+        self,
+        actions: Sequence[DriverAction] = (),
+        initial: DriverState = DriverState(),
+    ) -> None:
+        times = [action.time for action in actions]
+        if sorted(times) != times:
+            raise SimulationError("driver actions must be time-ordered")
+        self._actions: List[DriverAction] = list(actions)
+        self._initial = initial
+        self._next_action = 0
+        self._state = initial
+
+    def reset(self) -> None:
+        """Rewind the script."""
+        self._next_action = 0
+        self._state = self._initial
+
+    def step(self, now: float) -> DriverState:
+        """Advance to ``now`` and return the current driver state."""
+        while (
+            self._next_action < len(self._actions)
+            and self._actions[self._next_action].time <= now + 1e-12
+        ):
+            self._state = self._apply(self._actions[self._next_action])
+            self._next_action += 1
+        return self._state
+
+    def _apply(self, action: DriverAction) -> DriverState:
+        updates = {
+            field: value
+            for field, value in (
+                ("accel_pedal", action.accel_pedal),
+                ("brake_pressure", action.brake_pressure),
+                ("set_speed", action.set_speed),
+                ("headway", action.headway),
+                ("acc_on", action.acc_on),
+            )
+            if value is not None
+        }
+        return replace(self._state, **updates)

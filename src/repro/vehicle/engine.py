@@ -1,0 +1,67 @@
+"""Powertrain model — torque requests to tractive force.
+
+The FSRACC requests *additional wheel torque* (Fig. 1); the engine
+controller tracks that request with a first-order lag and saturates it at
+the powertrain's capability.  Negative requested torque models engine
+braking (closed throttle drag), which is how the ACC sheds small amounts
+of speed without touching the friction brakes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+
+class Engine:
+    """First-order torque-tracking powertrain.
+
+    Attributes:
+        max_torque: maximum deliverable wheel torque, Nm.
+        min_torque: strongest engine-braking torque (negative), Nm.
+        time_constant: torque tracking lag, seconds.
+        wheel_radius: effective wheel radius, metres.
+    """
+
+    def __init__(
+        self,
+        max_torque: float = 3000.0,
+        min_torque: float = -600.0,
+        time_constant: float = 0.15,
+        wheel_radius: float = 0.32,
+    ) -> None:
+        if max_torque <= 0 or min_torque > 0:
+            raise SimulationError("torque limits must bracket zero")
+        if time_constant <= 0 or wheel_radius <= 0:
+            raise SimulationError("time constant and wheel radius must be positive")
+        self.max_torque = max_torque
+        self.min_torque = min_torque
+        self.time_constant = time_constant
+        self.wheel_radius = wheel_radius
+        self.torque = 0.0
+
+    def reset(self, torque: float = 0.0) -> None:
+        """Reset the delivered torque state."""
+        self.torque = torque
+
+    def step(self, dt: float, requested_torque: float) -> float:
+        """Advance the powertrain one step; returns tractive force in N.
+
+        Non-finite requests (possible when the non-robust feature forwards
+        a corrupted input) are treated as "hold current torque": the real
+        engine controller in the test vehicle clamped its command rather
+        than crashing.
+        """
+        if math.isfinite(requested_torque):
+            target = min(self.max_torque, max(self.min_torque, requested_torque))
+            alpha = dt / (self.time_constant + dt)
+            self.torque += alpha * (target - self.torque)
+        return self.torque / self.wheel_radius
+
+    @property
+    def throttle_position(self) -> float:
+        """Throttle opening feedback, percent (0 at or below zero torque)."""
+        if self.torque <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.torque / self.max_torque)

@@ -1,0 +1,115 @@
+"""Lead (target) vehicle with scripted maneuvers.
+
+The lead vehicle drives the interesting ACC scenarios: steady following,
+hard braking, cut-ins (a car merging close in front — the paper's Rule #2
+triage case), and cut-outs/overtakes.  Maneuvers are expressed as a small
+time-ordered event script, which keeps scenarios declarative and easy to
+review.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LeadEvent:
+    """Base class for scripted lead-vehicle events (dispatch at ``time``)."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class Appear(LeadEvent):
+    """The lead appears ``range_m`` ahead of the ego, at ``speed`` m/s.
+
+    Models both initial acquisition and cut-ins; the range sensor will see
+    a discrete jump from "no target" to the actual range (§V-C2).
+    """
+
+    range_m: float = 50.0
+    speed: float = 25.0
+
+
+@dataclass(frozen=True)
+class Disappear(LeadEvent):
+    """The lead leaves the lane (cut-out, or the ego changes lanes)."""
+
+
+@dataclass(frozen=True)
+class ChangeSpeed(LeadEvent):
+    """The lead ramps to ``speed`` m/s at ``accel`` m/s² magnitude."""
+
+    speed: float = 25.0
+    accel: float = 1.5
+
+
+class LeadVehicle:
+    """A scripted lead vehicle integrated alongside the ego."""
+
+    def __init__(self, script: Sequence[LeadEvent] = ()) -> None:
+        times = [event.time for event in script]
+        if sorted(times) != times:
+            raise SimulationError("lead script events must be time-ordered")
+        self._script: List[LeadEvent] = list(script)
+        self._next_event = 0
+        self.present = False
+        self.position = 0.0
+        self.velocity = 0.0
+        self._target_speed = 0.0
+        self._ramp_accel = 0.0
+
+    def reset(self) -> None:
+        """Rewind the script and remove the lead from the road."""
+        self._next_event = 0
+        self.present = False
+        self.position = 0.0
+        self.velocity = 0.0
+        self._target_speed = 0.0
+        self._ramp_accel = 0.0
+
+    def step(self, dt: float, now: float, ego_position: float) -> None:
+        """Advance the lead one step, dispatching any due script events."""
+        while (
+            self._next_event < len(self._script)
+            and self._script[self._next_event].time <= now + 1e-12
+        ):
+            self._dispatch(self._script[self._next_event], ego_position)
+            self._next_event += 1
+        if not self.present:
+            return
+        if self._ramp_accel > 0 and self.velocity != self._target_speed:
+            step = math.copysign(
+                self._ramp_accel * dt, self._target_speed - self.velocity
+            )
+            if abs(self._target_speed - self.velocity) <= abs(step):
+                self.velocity = self._target_speed
+            else:
+                self.velocity += step
+        self.velocity = max(0.0, self.velocity)
+        self.position += self.velocity * dt
+
+    def range_from(self, ego_position: float) -> Optional[float]:
+        """Bumper gap to the ego, or ``None`` when absent."""
+        if not self.present:
+            return None
+        return self.position - ego_position
+
+    def _dispatch(self, event: LeadEvent, ego_position: float) -> None:
+        if isinstance(event, Appear):
+            self.present = True
+            self.position = ego_position + event.range_m
+            self.velocity = event.speed
+            self._target_speed = event.speed
+            self._ramp_accel = 0.0
+        elif isinstance(event, Disappear):
+            self.present = False
+        elif isinstance(event, ChangeSpeed):
+            self._target_speed = event.speed
+            self._ramp_accel = abs(event.accel)
+        else:
+            raise SimulationError("unknown lead event %r" % (event,))

@@ -1,0 +1,86 @@
+"""Road grade profiles.
+
+Grade is expressed as a dimensionless slope (rise over run); positive
+means uphill.  Grade matters to the reproduction because the paper's
+real-vehicle logs showed that "starting up a hill torque must increase to
+maintain constant vehicle speed" — the system dynamics that made strict
+versions of Rules #3 and #4 fire false alarms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+class RoadProfile:
+    """Interface: grade as a function of longitudinal position (metres)."""
+
+    def grade_at(self, position: float) -> float:
+        """Slope at ``position`` (positive = uphill)."""
+        raise NotImplementedError
+
+
+class FlatRoad(RoadProfile):
+    """A perfectly level road."""
+
+    def grade_at(self, position: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class GradeSegment:
+    """One stretch of constant grade starting at ``start`` metres."""
+
+    start: float
+    grade: float
+
+
+class SegmentedRoad(RoadProfile):
+    """Piecewise-constant grade, defined by sorted segments.
+
+    The grade before the first segment is 0.  Segments must be given in
+    increasing ``start`` order.
+    """
+
+    def __init__(self, segments: Sequence[GradeSegment]) -> None:
+        starts = [segment.start for segment in segments]
+        if sorted(starts) != starts:
+            raise SimulationError("road segments must be sorted by start")
+        self._segments: List[GradeSegment] = list(segments)
+
+    def grade_at(self, position: float) -> float:
+        grade = 0.0
+        for segment in self._segments:
+            if position >= segment.start:
+                grade = segment.grade
+            else:
+                break
+        return grade
+
+
+class RollingHills(RoadProfile):
+    """Sinusoidal rolling terrain.
+
+    Attributes:
+        amplitude: peak grade (e.g. 0.04 for a 4 % hill).
+        wavelength: distance between successive crests, in metres.
+        phase: phase offset in radians.
+    """
+
+    def __init__(
+        self, amplitude: float = 0.04, wavelength: float = 800.0, phase: float = 0.0
+    ) -> None:
+        if wavelength <= 0:
+            raise SimulationError("wavelength must be positive")
+        self.amplitude = amplitude
+        self.wavelength = wavelength
+        self.phase = phase
+
+    def grade_at(self, position: float) -> float:
+        return self.amplitude * math.sin(
+            2.0 * math.pi * position / self.wavelength + self.phase
+        )

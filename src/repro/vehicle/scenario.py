@@ -1,0 +1,260 @@
+"""Driving scenarios — declarative bundles of road, lead and driver scripts.
+
+These are the workloads fed to the HIL testbench: the robustness campaign
+runs fault injection on top of a nominal following scenario, and the
+synthetic "real vehicle" logs are produced by chaining the richer
+scenarios (hills, cut-ins, overtakes, stop-and-go) that the paper reports
+as the sources of overly-strict-rule violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.vehicle.driver import DriverAction, DriverScript, DriverState
+from repro.vehicle.lead import Appear, ChangeSpeed, Disappear, LeadEvent, LeadVehicle
+from repro.vehicle.road import FlatRoad, GradeSegment, RoadProfile, RollingHills, SegmentedRoad
+from repro.vehicle.sensors import RangeSensor
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete driving scenario.
+
+    Attributes:
+        name: registry key.
+        duration: scenario length, seconds.
+        road: grade profile.
+        lead_script: timed lead-vehicle maneuvers.
+        driver_actions: timed driver actions.
+        initial_velocity: ego speed at t=0, m/s.
+        range_noise_std: radar range noise (0 on the HIL, > 0 on the car).
+        rel_vel_noise_std: radar relative-velocity noise.
+        velocity_noise_std: wheel-speed sensor noise on the broadcast
+            Velocity signal (0 on the HIL, > 0 on the real vehicle).
+        description: what the scenario exercises.
+    """
+
+    name: str
+    duration: float
+    road: RoadProfile = field(default_factory=FlatRoad)
+    lead_script: Tuple[LeadEvent, ...] = ()
+    driver_actions: Tuple[DriverAction, ...] = ()
+    initial_velocity: float = 25.0
+    range_noise_std: float = 0.0
+    rel_vel_noise_std: float = 0.0
+    velocity_noise_std: float = 0.0
+    description: str = ""
+
+    def make_lead(self) -> LeadVehicle:
+        """Instantiate the scripted lead vehicle."""
+        return LeadVehicle(self.lead_script)
+
+    def make_driver(self) -> DriverScript:
+        """Instantiate the scripted driver."""
+        return DriverScript(
+            self.driver_actions,
+            initial=DriverState(set_speed=0.0, headway=2, acc_on=False),
+        )
+
+    def make_sensor(self, seed: int = 0) -> RangeSensor:
+        """Instantiate the radar with this scenario's noise levels."""
+        return RangeSensor(
+            range_noise_std=self.range_noise_std,
+            rel_vel_noise_std=self.rel_vel_noise_std,
+            seed=seed,
+        )
+
+
+def _engage(time: float, set_speed: float, headway: int = 2) -> Tuple[DriverAction, ...]:
+    """Driver switches the ACC on and dials a set speed."""
+    return (
+        DriverAction(time=time, acc_on=True, set_speed=set_speed, headway=headway),
+    )
+
+
+def steady_follow(duration: float = 120.0) -> Scenario:
+    """Nominal target-following: the robustness campaign's base workload."""
+    return Scenario(
+        name="steady_follow",
+        duration=duration,
+        lead_script=(Appear(time=5.0, range_m=60.0, speed=27.0),),
+        driver_actions=_engage(2.0, set_speed=31.0),
+        initial_velocity=27.0,
+        description=(
+            "ACC engaged at 31 m/s set speed behind a steady 27 m/s lead; "
+            "the feature settles into gap control."
+        ),
+    )
+
+
+def free_cruise(duration: float = 90.0) -> Scenario:
+    """Cruising at set speed with no target (pure speed control)."""
+    return Scenario(
+        name="free_cruise",
+        duration=duration,
+        driver_actions=_engage(2.0, set_speed=29.0),
+        initial_velocity=24.0,
+        description="No lead vehicle; ACC climbs to and holds set speed.",
+    )
+
+
+def hills_cruise(duration: float = 240.0) -> Scenario:
+    """Cruise over rolling hills — the Rules #3/#4 triage scenario.
+
+    Climbing a hill at constant speed demands more torque; with the ego
+    hovering around set speed, strict 'torque must not increase above set
+    speed' rules fire on negligible transients (§IV-A).
+    """
+    return Scenario(
+        name="hills_cruise",
+        duration=duration,
+        road=RollingHills(amplitude=0.05, wavelength=700.0),
+        driver_actions=_engage(2.0, set_speed=28.0),
+        initial_velocity=28.0,
+        description="Set-speed cruise over 5% rolling hills.",
+    )
+
+
+def cut_in(duration: float = 90.0) -> Scenario:
+    """A car cuts in close ahead — the Rule #2 triage scenario."""
+    return Scenario(
+        name="cut_in",
+        duration=duration,
+        lead_script=(
+            Appear(time=30.0, range_m=14.0, speed=26.5),
+            ChangeSpeed(time=45.0, speed=30.0, accel=1.2),
+        ),
+        driver_actions=_engage(2.0, set_speed=29.0),
+        initial_velocity=28.0,
+        description=(
+            "Cut-in at 14 m while cruising; small headway plus mild "
+            "acceleration afterwards."
+        ),
+    )
+
+
+def overtake(duration: float = 120.0) -> Scenario:
+    """Approach a slow lead, pull out, pass, and resume set speed."""
+    return Scenario(
+        name="overtake",
+        duration=duration,
+        lead_script=(
+            Appear(time=10.0, range_m=90.0, speed=21.0),
+            Disappear(time=55.0),
+        ),
+        driver_actions=_engage(2.0, set_speed=30.0),
+        initial_velocity=28.0,
+        description=(
+            "Slow lead forces gap control; the ego pulls out at t=55 s "
+            "(lead leaves the lane) and accelerates back to set speed."
+        ),
+    )
+
+
+def stop_and_go(duration: float = 180.0) -> Scenario:
+    """Full-speed-range behaviour: the lead brakes to a stop and pulls away."""
+    return Scenario(
+        name="stop_and_go",
+        duration=duration,
+        lead_script=(
+            Appear(time=5.0, range_m=45.0, speed=22.0),
+            ChangeSpeed(time=40.0, speed=0.0, accel=2.2),
+            ChangeSpeed(time=90.0, speed=24.0, accel=1.8),
+        ),
+        driver_actions=_engage(2.0, set_speed=27.0),
+        initial_velocity=22.0,
+        description="Lead decelerates to a stop, dwells, then pulls away.",
+    )
+
+
+def hard_brake_lead(duration: float = 90.0) -> Scenario:
+    """The lead brakes hard; headway dips below 1 s and must recover."""
+    return Scenario(
+        name="hard_brake_lead",
+        duration=duration,
+        lead_script=(
+            Appear(time=5.0, range_m=42.0, speed=27.0),
+            ChangeSpeed(time=30.0, speed=16.0, accel=4.0),
+            ChangeSpeed(time=50.0, speed=26.0, accel=1.5),
+        ),
+        driver_actions=_engage(2.0, set_speed=30.0),
+        initial_velocity=27.0,
+        description="Hard lead braking stresses headway recovery (Rule #1).",
+    )
+
+
+def traffic_jam(duration: float = 240.0) -> Scenario:
+    """Repeated stop-and-go cycles — congested traffic."""
+    script = [Appear(time=5.0, range_m=35.0, speed=12.0)]
+    t = 20.0
+    for _ in range(4):
+        script.append(ChangeSpeed(time=t, speed=0.0, accel=1.2))
+        script.append(ChangeSpeed(time=t + 25.0, speed=11.0, accel=1.2))
+        t += 50.0
+    return Scenario(
+        name="traffic_jam",
+        duration=duration,
+        lead_script=tuple(script),
+        driver_actions=_engage(2.0, set_speed=22.0, headway=2),
+        initial_velocity=12.0,
+        description="Four consecutive stop-and-go cycles behind a lead.",
+    )
+
+
+def mountain_pass(duration: float = 200.0) -> Scenario:
+    """Long steep climb, crest, and descent — sustained grade authority."""
+    road = SegmentedRoad(
+        [
+            GradeSegment(300.0, 0.07),
+            GradeSegment(2300.0, 0.0),
+            GradeSegment(2600.0, -0.07),
+            GradeSegment(4600.0, 0.0),
+        ]
+    )
+    return Scenario(
+        name="mountain_pass",
+        duration=duration,
+        road=road,
+        driver_actions=_engage(2.0, set_speed=26.0),
+        initial_velocity=26.0,
+        description="7% climb for 2 km, a crest, then a 7% descent.",
+    )
+
+
+def aggressive_cut_ins(duration: float = 150.0) -> Scenario:
+    """Three successively closer cut-ins — urban merge harassment."""
+    return Scenario(
+        name="aggressive_cut_ins",
+        duration=duration,
+        lead_script=(
+            Appear(time=20.0, range_m=22.0, speed=26.0),
+            Disappear(time=45.0),
+            Appear(time=60.0, range_m=16.0, speed=25.5),
+            Disappear(time=85.0),
+            Appear(time=100.0, range_m=11.0, speed=25.0),
+            ChangeSpeed(time=115.0, speed=29.0, accel=1.5),
+        ),
+        driver_actions=_engage(2.0, set_speed=29.0),
+        initial_velocity=27.0,
+        description="Cut-ins at 22, 16 and 11 m while cruising at 29 m/s.",
+    )
+
+
+#: Registry of the standard scenarios by name.
+STANDARD_SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        steady_follow(),
+        free_cruise(),
+        hills_cruise(),
+        cut_in(),
+        overtake(),
+        stop_and_go(),
+        hard_brake_lead(),
+        traffic_jam(),
+        mountain_pass(),
+        aggressive_cut_ins(),
+    )
+}

@@ -1,0 +1,80 @@
+"""Forward range sensor (radar) model.
+
+Produces the three target signals the FSRACC consumes: ``VehicleAhead``,
+``TargetRange`` and ``TargetRelVel``.  Two behaviours matter for the
+reproduction:
+
+* **Acquisition jumps** — ``TargetRange`` is 0 while no target is tracked
+  and jumps discretely to the true range on acquisition, the §V-C2 warm-up
+  problem.
+* **Measurement noise** — the real vehicle's logs differ from the HIL's
+  noise-free ones, part of the §V-C3 simulation-vs-vehicle gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.vehicle.lead import LeadVehicle
+
+
+@dataclass(frozen=True)
+class TargetMeasurement:
+    """One radar output sample."""
+
+    vehicle_ahead: bool
+    target_range: float
+    target_rel_vel: float
+
+
+class RangeSensor:
+    """Radar tracking the nearest in-lane lead vehicle.
+
+    Attributes:
+        max_range: detection limit, metres.
+        range_noise_std: Gaussian noise on range, metres.
+        rel_vel_noise_std: Gaussian noise on relative velocity, m/s.
+    """
+
+    def __init__(
+        self,
+        max_range: float = 150.0,
+        range_noise_std: float = 0.0,
+        rel_vel_noise_std: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if max_range <= 0:
+            raise SimulationError("max_range must be positive")
+        if range_noise_std < 0 or rel_vel_noise_std < 0:
+            raise SimulationError("noise standard deviations must be >= 0")
+        self.max_range = max_range
+        self.range_noise_std = range_noise_std
+        self.rel_vel_noise_std = rel_vel_noise_std
+        self._rng = np.random.default_rng(seed)
+
+    def measure(
+        self,
+        lead: LeadVehicle,
+        ego_position: float,
+        ego_velocity: float,
+    ) -> TargetMeasurement:
+        """Measure the lead vehicle relative to the ego.
+
+        Relative velocity follows the sign convention documented in the
+        message database: lead minus ego, so *negative means closing*.
+        """
+        gap = lead.range_from(ego_position)
+        if gap is None or gap > self.max_range or gap < 0:
+            return TargetMeasurement(False, 0.0, 0.0)
+        measured_range = gap
+        rel_vel = lead.velocity - ego_velocity
+        if self.range_noise_std > 0:
+            measured_range += float(self._rng.normal(0.0, self.range_noise_std))
+            measured_range = max(0.0, measured_range)
+        if self.rel_vel_noise_std > 0:
+            rel_vel += float(self._rng.normal(0.0, self.rel_vel_noise_std))
+        return TargetMeasurement(True, measured_range, rel_vel)

@@ -1,0 +1,343 @@
+"""FSRACC controller behaviour — including its deliberate non-robustness.
+
+These tests pin down the feature's *character*: functional control when
+inputs are sane, and faithful misbehaviour when they are not.  Do not
+"fix" failures here by adding input checking to the controller — the
+missing checks are the experiment (§IV).
+"""
+
+import math
+
+import pytest
+
+from repro.acc.controller import AccParams, FsraccController
+from repro.acc.interface import AccInputs
+from repro.acc.modes import AccMode
+
+DT = 0.02
+
+
+def engaged_inputs(**overrides):
+    """Inputs for a nominal engaged cruise at 27 m/s, set 31 m/s."""
+    base = dict(
+        velocity=27.0,
+        acc_set_speed=31.0,
+        acc_active=True,
+        vehicle_ahead=False,
+        target_range=0.0,
+        target_rel_vel=0.0,
+        sel_headway=2,
+    )
+    base.update(overrides)
+    return AccInputs(**base)
+
+
+def run_cycles(controller, inputs, cycles):
+    out = None
+    for _ in range(cycles):
+        out = controller.step(DT, inputs)
+    return out
+
+
+def warmed(controller=None, warm_inputs=None, cycles=60):
+    """A controller whose velocity-derivative filter has settled."""
+    controller = controller or FsraccController()
+    run_cycles(controller, warm_inputs or engaged_inputs(), cycles)
+    return controller
+
+
+class TestEngagement:
+    def test_off_without_switch(self):
+        controller = FsraccController()
+        out = controller.step(DT, engaged_inputs(acc_active=False))
+        assert controller.mode is AccMode.OFF
+        assert not out.acc_enabled
+
+    def test_engages_on_switch(self):
+        controller = FsraccController()
+        out = controller.step(DT, engaged_inputs())
+        assert controller.mode is AccMode.ENGAGED
+        assert out.acc_enabled
+
+    def test_driver_brake_drops_to_standby(self):
+        controller = FsraccController()
+        controller.step(DT, engaged_inputs())
+        out = controller.step(DT, engaged_inputs(brake_ped_pres=20.0))
+        assert controller.mode is AccMode.STANDBY
+        assert not out.acc_enabled
+
+    def test_resumes_after_brake_release(self):
+        controller = FsraccController()
+        controller.step(DT, engaged_inputs(brake_ped_pres=20.0))
+        out = controller.step(DT, engaged_inputs())
+        assert out.acc_enabled
+
+    def test_accel_pedal_suspends_requests_but_stays_engaged(self):
+        controller = FsraccController()
+        out = run_cycles(controller, engaged_inputs(accel_ped_pos=60.0), 5)
+        assert out.acc_enabled
+        assert not out.torque_requested
+        assert not out.brake_requested
+        assert out.requested_torque == 0.0
+
+    def test_disengaged_outputs_are_inert(self):
+        controller = FsraccController()
+        out = controller.step(DT, engaged_inputs(acc_active=False))
+        assert out.requested_torque == 0.0
+        assert out.requested_decel == 0.0
+        assert not out.torque_requested
+
+
+class TestSpeedControl:
+    def test_below_set_speed_requests_positive_torque(self):
+        controller = warmed(warm_inputs=engaged_inputs(velocity=20.0))
+        out = run_cycles(controller, engaged_inputs(velocity=20.0), 10)
+        assert out.torque_requested
+        assert out.requested_torque > 0.0
+
+    def test_far_above_set_speed_requests_braking(self):
+        controller = warmed(warm_inputs=engaged_inputs(velocity=45.0))
+        out = run_cycles(controller, engaged_inputs(velocity=45.0), 10)
+        assert out.brake_requested
+        assert out.requested_decel < 0.0
+
+    def test_slightly_above_set_speed_coasts(self):
+        # At +0.2 m/s over set speed the desired decel (-0.08) is above
+        # the brake release threshold, so the feature coasts.
+        controller = warmed(warm_inputs=engaged_inputs(velocity=31.2))
+        out = run_cycles(controller, engaged_inputs(velocity=31.2), 10)
+        assert not out.brake_requested
+        # Published torque stays at or below the drag feedforward.
+        assert out.requested_torque <= 220.0
+
+    def test_never_accelerates_above_set_speed(self):
+        controller = FsraccController()
+        params = controller.params
+        feedforward = (
+            params.drag_c0 + params.drag_c1 * 32.0 + params.drag_c2 * 32.0**2
+        ) * params.wheel_radius
+        controller = warmed(warm_inputs=engaged_inputs(velocity=32.0))
+        out = run_cycles(controller, engaged_inputs(velocity=32.0), 50)
+        assert out.requested_torque <= feedforward + 1.0
+
+
+class TestGapControl:
+    def test_close_target_overrides_speed_control(self):
+        controller = warmed()
+        # Well below set speed but far too close to the target.
+        out = run_cycles(
+            controller,
+            engaged_inputs(
+                velocity=25.0,
+                vehicle_ahead=True,
+                target_range=10.0,
+                target_rel_vel=-3.0,
+            ),
+            10,
+        )
+        assert out.brake_requested
+        assert out.requested_decel < 0.0
+
+    def test_far_target_does_not_interfere(self):
+        controller = warmed()
+        out = run_cycles(
+            controller,
+            engaged_inputs(
+                velocity=25.0, vehicle_ahead=True, target_range=200.0
+            ),
+            60,
+        )
+        assert out.torque_requested
+
+    def test_headway_selection_changes_desired_gap(self):
+        def decel_for(headway):
+            controller = warmed()
+            out = run_cycles(
+                controller,
+                engaged_inputs(
+                    velocity=27.0,
+                    vehicle_ahead=True,
+                    target_range=40.0,
+                    sel_headway=headway,
+                ),
+                10,
+            )
+            return out.requested_decel
+
+        # A longer selected headway wants a bigger gap: braking is harder
+        # (or at least not softer) at the same range.
+        assert decel_for(3) <= decel_for(1)
+
+    def test_unknown_headway_enum_falls_back_to_default(self):
+        controller = FsraccController()
+        out = run_cycles(
+            controller,
+            engaged_inputs(
+                velocity=27.0, vehicle_ahead=True, target_range=48.6,
+                sel_headway=7,
+            ),
+            10,
+        )
+        assert out is not None  # no crash on out-of-range enum
+
+    def test_stop_distance_control_brakes_behind_stopped_lead(self):
+        controller = warmed()
+        out = run_cycles(
+            controller,
+            engaged_inputs(
+                velocity=8.0,
+                vehicle_ahead=True,
+                target_range=12.0,
+                target_rel_vel=-8.0,  # lead is stationary
+            ),
+            5,
+        )
+        assert out.brake_requested
+        assert out.requested_decel < -1.0
+
+
+class TestRule5Transient:
+    def test_abrupt_brake_release_emits_one_cycle_positive_decel(self):
+        controller = warmed(warm_inputs=engaged_inputs(velocity=50.0))
+        # Hard braking: way above set speed.
+        run_cycles(controller, engaged_inputs(velocity=50.0), 10)
+        # Abrupt swing to hard acceleration demand.
+        out = controller.step(DT, engaged_inputs(velocity=10.0))
+        assert out.brake_requested  # one-cycle release hold
+        assert out.requested_decel > 0.0  # the Rule #5 violation value
+        out = controller.step(DT, engaged_inputs(velocity=10.0))
+        assert not out.brake_requested
+
+    def test_brake_hysteresis_band(self):
+        # In the band between release (-0.15) and engage (-0.35)
+        # thresholds the brake state depends on history: a demand of
+        # -0.3 m/s^2 never *engages* the brakes...
+        never_braking = warmed(warm_inputs=engaged_inputs(velocity=31.75))
+        out = run_cycles(never_braking, engaged_inputs(velocity=31.75), 10)
+        assert not out.brake_requested
+        # ...but a demand of -0.6 does, decisively.
+        braking = warmed(warm_inputs=engaged_inputs(velocity=32.5))
+        out = run_cycles(braking, engaged_inputs(velocity=32.5), 10)
+        assert out.brake_requested
+
+
+class TestNonRobustness:
+    def test_nan_velocity_propagates_to_torque(self):
+        controller = FsraccController()
+        out = controller.step(DT, engaged_inputs(velocity=float("nan")))
+        assert math.isnan(out.requested_torque)
+
+    def test_huge_velocity_produces_max_torque_feedforward(self):
+        controller = warmed()
+        # Long enough for the slew-limited command to reach the ceiling.
+        out = run_cycles(controller, engaged_inputs(velocity=1500.0), 400)
+        # The unvalidated feedforward saturates the torque command even
+        # though the controller is braking as hard as it can.
+        assert out.requested_torque == controller.params.torque_max
+        assert out.brake_requested
+
+    def test_negative_set_speed_accepted_blindly(self):
+        controller = warmed()
+        out = run_cycles(controller, engaged_inputs(acc_set_speed=-500.0), 30)
+        assert controller.mode is AccMode.ENGAGED
+        assert out.brake_requested
+
+    def test_nan_range_silently_drops_gap_control(self):
+        controller = warmed()
+        out = run_cycles(
+            controller,
+            engaged_inputs(
+                velocity=20.0,
+                vehicle_ahead=True,
+                target_range=float("nan"),
+                target_rel_vel=-10.0,
+            ),
+            60,
+        )
+        # Gap protection silently lost: the feature accelerates toward
+        # set speed despite a (corrupted) close target.
+        assert out.torque_requested
+        assert out.requested_torque > 0.0
+
+    def test_wrong_sign_rel_vel_accelerates_into_target(self):
+        controller = warmed()
+        out = run_cycles(
+            controller,
+            engaged_inputs(
+                velocity=27.0,
+                vehicle_ahead=True,
+                target_range=48.6,
+                target_rel_vel=+40.0,  # looks like the target is fleeing
+            ),
+            60,
+        )
+        assert out.torque_requested
+        assert out.requested_torque > 0.0
+
+
+class TestWatchdog:
+    def test_sustained_nan_trips_fault(self):
+        controller = FsraccController()
+        bad = engaged_inputs(velocity=float("nan"))
+        out = run_cycles(controller, bad, controller.params.fault_trip_cycles + 2)
+        assert controller.mode is AccMode.FAULT
+        assert out.service_acc
+        assert not out.acc_enabled
+
+    def test_rule0_consistency_in_fault(self):
+        controller = FsraccController()
+        bad = engaged_inputs(acc_set_speed=float("inf"), velocity=float("inf"))
+        for _ in range(controller.params.fault_trip_cycles + 5):
+            out = controller.step(DT, bad)
+            if out.service_acc:
+                assert not out.acc_enabled
+
+    def test_fault_clears_after_sane_inputs(self):
+        controller = FsraccController()
+        run_cycles(
+            controller,
+            engaged_inputs(velocity=float("nan")),
+            controller.params.fault_trip_cycles + 2,
+        )
+        assert controller.mode is AccMode.FAULT
+        out = run_cycles(
+            controller,
+            engaged_inputs(),
+            controller.params.fault_clear_cycles + 10,
+        )
+        assert controller.mode is AccMode.ENGAGED
+        assert not out.service_acc
+
+    def test_brief_nan_does_not_fault(self):
+        controller = FsraccController()
+        run_cycles(controller, engaged_inputs(velocity=float("nan")), 10)
+        run_cycles(controller, engaged_inputs(), 2)
+        assert controller.mode is AccMode.ENGAGED
+
+
+class TestPublication:
+    def test_torque_is_quantized(self):
+        controller = FsraccController()
+        out = run_cycles(controller, engaged_inputs(), 20)
+        assert out.requested_torque == round(out.requested_torque * 4) / 4
+
+    def test_torque_is_slew_limited(self):
+        controller = warmed()
+        run_cycles(controller, engaged_inputs(velocity=27.0), 10)
+        before = controller.step(DT, engaged_inputs(velocity=27.0)).requested_torque
+        after = controller.step(DT, engaged_inputs(velocity=5.0)).requested_torque
+        max_step = controller.params.torque_slew * DT
+        assert abs(after - before) <= max_step + 0.25
+
+    def test_reset_restores_power_on_state(self):
+        controller = FsraccController()
+        run_cycles(controller, engaged_inputs(), 10)
+        controller.reset()
+        assert controller.mode is AccMode.OFF
+
+
+class TestModes:
+    def test_only_engaged_claims_control(self):
+        assert AccMode.ENGAGED.in_control
+        for mode in (AccMode.OFF, AccMode.STANDBY, AccMode.FAULT):
+            assert not mode.in_control

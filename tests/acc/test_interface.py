@@ -1,0 +1,85 @@
+"""FSRACC I/O structures and the Figure 1 inventory."""
+
+from repro.acc.interface import (
+    AccInputs,
+    AccOutputs,
+    FIG1_ROWS,
+    fig1_io_table,
+)
+
+
+class TestFig1Inventory:
+    def test_fifteen_rows(self):
+        assert len(FIG1_ROWS) == 15
+
+    def test_nine_inputs_six_outputs(self):
+        inputs = [row for row in FIG1_ROWS if row[1] == "Input"]
+        outputs = [row for row in FIG1_ROWS if row[1] == "Output"]
+        assert len(inputs) == 9
+        assert len(outputs) == 6
+
+    def test_paper_order_preserved(self):
+        names = [row[0] for row in FIG1_ROWS]
+        assert names[0] == "Velocity"
+        assert names[8] == "SelHeadway"
+        assert names[9] == "ACCEnabled"
+        assert names[-1] == "ServiceACC"
+
+    def test_io_table_function_returns_rows(self):
+        assert fig1_io_table() == FIG1_ROWS
+
+
+class TestAccInputs:
+    def test_defaults_are_benign(self):
+        inputs = AccInputs()
+        assert inputs.velocity == 0.0
+        assert not inputs.vehicle_ahead
+        assert not inputs.acc_active
+
+    def test_from_signals_maps_names(self):
+        inputs = AccInputs.from_signals(
+            {
+                "Velocity": 27.0,
+                "VehicleAhead": 1.0,
+                "TargetRange": 48.0,
+                "TargetRelVel": -2.0,
+                "ACCSetSpeed": 31.0,
+                "SelHeadway": 3.0,
+                "AccActive": 1.0,
+            }
+        )
+        assert inputs.velocity == 27.0
+        assert inputs.vehicle_ahead is True
+        assert inputs.sel_headway == 3
+        assert inputs.acc_active is True
+
+    def test_from_signals_tolerates_missing_names(self):
+        inputs = AccInputs.from_signals({})
+        assert inputs == AccInputs()
+
+
+class TestAccOutputs:
+    def test_defaults_are_inactive(self):
+        out = AccOutputs()
+        assert not out.acc_enabled
+        assert not out.service_acc
+        assert out.requested_torque == 0.0
+
+    def test_to_signals_round_trip_names(self):
+        out = AccOutputs(
+            acc_enabled=True,
+            brake_requested=True,
+            requested_decel=-2.0,
+        )
+        signals = out.to_signals()
+        assert signals["ACCEnabled"] is True
+        assert signals["BrakeRequested"] is True
+        assert signals["RequestedDecel"] == -2.0
+        assert set(signals) == {
+            "ACCEnabled",
+            "BrakeRequested",
+            "TorqueRequested",
+            "RequestedTorque",
+            "RequestedDecel",
+            "ServiceACC",
+        }

@@ -1,0 +1,108 @@
+"""Textual database format round trips."""
+
+import pytest
+
+from repro.can.database import CanDatabase
+from repro.can.dbcio import (
+    dump_database,
+    dumps_database,
+    load_database,
+    loads_database,
+)
+from repro.can.errors import DatabaseError
+from repro.can.fsracc import fsracc_database
+from repro.can.signal import SignalType
+
+
+class TestRoundTrip:
+    def test_fsracc_database_round_trips(self, database):
+        text = dumps_database(database)
+        again = loads_database(text)
+        assert [m.name for m in again.messages()] == [
+            m.name for m in database.messages()
+        ]
+        for message in database.messages():
+            twin = again.message_by_name(message.name)
+            assert twin.can_id == message.can_id
+            assert twin.length == message.length
+            assert twin.period == pytest.approx(message.period)
+            assert twin.sender == message.sender
+            assert twin.signal_names() == message.signal_names()
+
+    def test_signal_details_preserved(self, database):
+        again = loads_database(dumps_database(database))
+        velocity = again.signal("Velocity")
+        assert velocity.kind is SignalType.FLOAT
+        assert velocity.minimum == -10.0
+        assert velocity.maximum == 120.0
+        assert velocity.unit == "m/s"
+        headway = again.signal("SelHeadway")
+        assert headway.kind is SignalType.ENUM
+        assert headway.bit_length == 3
+        assert headway.enum_labels == {1: "SHORT", 2: "MEDIUM", 3: "LONG"}
+
+    def test_double_round_trip_is_fixed_point(self, database):
+        once = dumps_database(database)
+        twice = dumps_database(loads_database(once))
+        assert once == twice
+
+    def test_file_round_trip(self, tmp_path, database):
+        path = tmp_path / "network.candb"
+        dump_database(database, str(path))
+        again = load_database(str(path))
+        assert again.signal_names() == database.signal_names()
+
+    def test_reloaded_database_encodes_identically(self, database):
+        again = loads_database(dumps_database(database))
+        values = {"Velocity": 27.5}
+        assert again.encode("VehicleMotion", values) == database.encode(
+            "VehicleMotion", values
+        )
+
+
+class TestParseErrors:
+    def test_bad_header_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database("something else\n")
+
+    def test_bad_message_line_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database("# repro-candb v1\nmessage lol\n")
+
+    def test_signal_before_message_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database("# repro-candb v1\nsignal x float @0\n")
+
+    def test_enum_without_width_rejected(self):
+        text = (
+            "# repro-candb v1\n"
+            "message M 0x10 length 8 period 20ms\n"
+            "  signal e enum @0\n"
+        )
+        with pytest.raises(DatabaseError):
+            loads_database(text)
+
+    def test_bad_enum_value_rejected(self):
+        text = (
+            "# repro-candb v1\n"
+            "message M 0x10 length 8 period 20ms\n"
+            "  signal e enum @0 width 3 values one=A\n"
+        )
+        with pytest.raises(DatabaseError):
+            loads_database(text)
+
+    def test_unrecognized_line_rejected(self):
+        text = "# repro-candb v1\nwhatever\n"
+        with pytest.raises(DatabaseError):
+            loads_database(text)
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "# repro-candb v1\n"
+            "\n"
+            "# the motion message\n"
+            "message M 0x10 length 8 period 20ms\n"
+            "  signal v float @0\n"
+        )
+        database = loads_database(text)
+        assert "v" in database

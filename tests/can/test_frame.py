@@ -1,0 +1,70 @@
+"""CAN frame validation and convenience behaviour."""
+
+import pytest
+
+from repro.can.errors import FrameError
+from repro.can.frame import CanFrame, MAX_DLC, MAX_EXTENDED_ID, MAX_STANDARD_ID
+
+
+class TestFrameValidation:
+    def test_standard_frame_accepts_max_id(self):
+        frame = CanFrame(MAX_STANDARD_ID, b"\x01")
+        assert frame.can_id == MAX_STANDARD_ID
+
+    def test_standard_frame_rejects_extended_id(self):
+        with pytest.raises(FrameError):
+            CanFrame(MAX_STANDARD_ID + 1, b"")
+
+    def test_extended_frame_accepts_29_bit_id(self):
+        frame = CanFrame(MAX_EXTENDED_ID, b"", extended=True)
+        assert frame.extended
+
+    def test_extended_frame_rejects_30_bit_id(self):
+        with pytest.raises(FrameError):
+            CanFrame(MAX_EXTENDED_ID + 1, b"", extended=True)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(-1, b"")
+
+    def test_payload_up_to_8_bytes(self):
+        frame = CanFrame(0x100, bytes(MAX_DLC))
+        assert frame.dlc == MAX_DLC
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(FrameError):
+            CanFrame(0x100, bytes(MAX_DLC + 1))
+
+    def test_empty_payload_allowed(self):
+        assert CanFrame(0x100, b"").dlc == 0
+
+
+class TestFrameConvenience:
+    def test_with_timestamp_preserves_other_fields(self):
+        frame = CanFrame(0x123, b"\xAB\xCD", timestamp=1.0)
+        stamped = frame.with_timestamp(2.5)
+        assert stamped.timestamp == 2.5
+        assert stamped.can_id == 0x123
+        assert stamped.data == b"\xAB\xCD"
+
+    def test_with_data_preserves_other_fields(self):
+        frame = CanFrame(0x123, b"\x00", timestamp=1.0)
+        changed = frame.with_data(b"\xFF\xFF")
+        assert changed.data == b"\xFF\xFF"
+        assert changed.timestamp == 1.0
+
+    def test_with_data_still_validates_length(self):
+        frame = CanFrame(0x123, b"\x00")
+        with pytest.raises(FrameError):
+            frame.with_data(bytes(9))
+
+    def test_frames_are_hashable_and_comparable(self):
+        a = CanFrame(0x1, b"\x01", 0.0)
+        b = CanFrame(0x1, b"\x01", 0.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_includes_id_and_payload(self):
+        text = str(CanFrame(0x2A, b"\xDE\xAD", timestamp=0.5))
+        assert "0x02A" in text
+        assert "de ad" in text

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+Expensive simulator runs are session-scoped so the whole suite pays for
+them once.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.can.fsracc import fsracc_database
+from repro.hil.simulator import HilSimulator
+from repro.vehicle.scenario import steady_follow
+
+
+@pytest.fixture(scope="session")
+def database():
+    """The FSRACC message database."""
+    return fsracc_database()
+
+
+@pytest.fixture(scope="session")
+def nominal_result():
+    """A 40 s nominal steady-follow HIL run (shared, do not mutate)."""
+    simulator = HilSimulator(steady_follow(40.0), seed=7)
+    return simulator.run()
+
+
+@pytest.fixture(scope="session")
+def nominal_trace(nominal_result):
+    """The captured trace of the nominal run."""
+    return nominal_result.trace

@@ -1,0 +1,248 @@
+"""Formula/expression evaluation semantics over trace views."""
+
+import math
+
+import numpy as np
+import pytest
+
+from helpers import multirate_trace, uniform_trace
+from repro.core.evaluator import EvalContext, evaluate_expr, evaluate_formula
+from repro.core.parser import parse_expr, parse_formula
+from repro.core.types import FALSE_CODE, TRUE_CODE, UNKNOWN_CODE, Verdict
+from repro.errors import EvaluationError
+
+
+def ctx_for(signals, period=0.02, machines=None, alphabets=None):
+    trace = uniform_trace(signals, period=period)
+    view = trace.to_view(period)
+    return EvalContext(view, machines, alphabets)
+
+
+def eval_f(source, signals, **kwargs):
+    return evaluate_formula(parse_formula(source), ctx_for(signals, **kwargs))
+
+
+def eval_e(source, signals, **kwargs):
+    return evaluate_expr(parse_expr(source), ctx_for(signals, **kwargs))
+
+
+T, F, U = TRUE_CODE, FALSE_CODE, UNKNOWN_CODE
+
+
+class TestExpressionEvaluation:
+    def test_constant_broadcasts(self):
+        assert list(eval_e("2.5", {"x": [0, 0, 0]})) == [2.5, 2.5, 2.5]
+
+    def test_arithmetic(self):
+        values = eval_e("(x + 1) * 2 - x / 2", {"x": [2.0, 4.0]})
+        assert list(values) == [5.0, 8.0]
+
+    def test_division_by_zero_yields_inf(self):
+        values = eval_e("1 / x", {"x": [0.0, 2.0]})
+        assert values[0] == float("inf")
+        assert values[1] == 0.5
+
+    def test_zero_over_zero_yields_nan(self):
+        values = eval_e("x / y", {"x": [0.0], "y": [0.0]})
+        assert math.isnan(values[0])
+
+    def test_abs_min_max(self):
+        assert list(eval_e("abs(x)", {"x": [-3.0, 2.0]})) == [3.0, 2.0]
+        assert list(eval_e("min(x, 0)", {"x": [-3.0, 2.0]})) == [-3.0, 0.0]
+        assert list(eval_e("max(x, 0)", {"x": [-3.0, 2.0]})) == [0.0, 2.0]
+
+    def test_prev_shifts_by_one_row(self):
+        assert list(eval_e("prev(x)", {"x": [1.0, 2.0, 3.0]})) == [1.0, 1.0, 2.0]
+
+    def test_unknown_signal_reports_available_names(self):
+        with pytest.raises(EvaluationError) as excinfo:
+            eval_e("ghost", {"x": [1.0]})
+        assert "ghost" in str(excinfo.value)
+        assert "x" in str(excinfo.value)
+
+
+class TestComparisonSemantics:
+    def test_basic_comparison(self):
+        assert list(eval_f("x > 1", {"x": [0.0, 1.0, 2.0]})) == [F, F, T]
+
+    def test_nan_comparisons_are_false_both_ways(self):
+        nan = float("nan")
+        assert list(eval_f("x > 0", {"x": [nan]})) == [F]
+        assert list(eval_f("x <= 0", {"x": [nan]})) == [F]
+
+    def test_infinity_comparisons(self):
+        assert list(eval_f("x > 1e30", {"x": [float("inf")]})) == [T]
+        assert list(eval_f("x < -1e30", {"x": [float("-inf")]})) == [T]
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self):
+        signals = {"a": [1, 1, 0, 0], "b": [1, 0, 1, 0]}
+        assert list(eval_f("a and b", signals)) == [T, F, F, F]
+        assert list(eval_f("a or b", signals)) == [T, T, T, F]
+        assert list(eval_f("not a", signals)) == [F, F, T, T]
+
+    def test_implication(self):
+        signals = {"a": [1, 1, 0, 0], "b": [1, 0, 1, 0]}
+        assert list(eval_f("a -> b", signals)) == [T, F, T, T]
+
+    def test_unknown_propagates_through_connectives(self):
+        # `next` at the last row is UNKNOWN; conjunction with TRUE keeps U.
+        signals = {"a": [1, 1]}
+        codes = eval_f("a and next a", signals)
+        assert list(codes) == [T, U]
+
+
+class TestTemporalOperators:
+    def test_next_shifts_and_ends_unknown(self):
+        assert list(eval_f("next x > 0", {"x": [1, 0, 1]})) == [F, T, U]
+
+    def test_always_window(self):
+        # always[0, 40ms] over 20ms rows = this row and the next two.
+        codes = eval_f("always[0, 40ms] x > 0", {"x": [1, 1, 1, 0, 1, 1]})
+        assert list(codes) == [T, F, F, F, U, U]
+
+    def test_eventually_window(self):
+        codes = eval_f("eventually[0, 40ms] x > 0", {"x": [0, 0, 1, 0, 0, 0]})
+        assert list(codes) == [T, T, T, F, U, U]
+
+    def test_eventually_true_in_truncated_window_is_true(self):
+        # Even though the window is cut short, a TRUE inside decides it.
+        codes = eval_f("eventually[0, 100ms] x > 0", {"x": [0, 0, 1]})
+        assert codes[1] == T
+
+    def test_always_false_in_truncated_window_is_false(self):
+        codes = eval_f("always[0, 100ms] x > 0", {"x": [1, 1, 0]})
+        assert codes[1] == F
+
+    def test_delayed_window(self):
+        # always[40ms, 40ms]: exactly the row two steps ahead.
+        codes = eval_f("always[40ms, 40ms] x > 0", {"x": [0, 0, 1, 0]})
+        assert list(codes) == [T, F, U, U]
+
+    def test_window_tighter_than_period_rejected(self):
+        with pytest.raises(EvaluationError):
+            eval_f("always[5ms, 15ms] x > 0", {"x": [1, 1]})
+
+    def test_whole_trace_always_via_large_bound(self):
+        codes = eval_f("always[0, 1s] x > 0", {"x": [1] * 10})
+        assert codes[0] == U  # window extends past the end: undecided
+        assert (codes != F).all()
+
+
+class TestTraceFunctions:
+    def test_delta_fresh_vs_naive_on_multirate(self):
+        trace = multirate_trace({"f": range(12)}, {"s": [0, 10, 20]})
+        view = trace.to_view(0.02)
+        ctx = EvalContext(view)
+        fresh = evaluate_expr(parse_expr("delta(s)"), ctx)
+        naive = evaluate_expr(parse_expr("delta_naive(s)"), ctx)
+        assert fresh[6] == 10.0   # trend held between updates
+        assert naive[6] == 0.0    # naive sees a stutter
+
+    def test_rising_on_held_signal_stays_true(self):
+        trace = multirate_trace({"f": range(12)}, {"s": [0, 10, 20]})
+        ctx = EvalContext(trace.to_view(0.02))
+        codes = evaluate_formula(parse_formula("rising(s)"), ctx)
+        assert (codes[4:] == T).all()
+
+    def test_age_in_rows(self):
+        trace = multirate_trace({"f": range(8)}, {"s": [1, 2]})
+        ctx = EvalContext(trace.to_view(0.02))
+        ages = evaluate_expr(parse_expr("age(s)"), ctx)
+        assert list(ages) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_fresh_formula(self):
+        trace = multirate_trace({"f": range(8)}, {"s": [1, 2]})
+        ctx = EvalContext(trace.to_view(0.02))
+        codes = evaluate_formula(parse_formula("fresh(s)"), ctx)
+        assert list(codes) == [T, F, F, F, T, F, F, F]
+
+
+class TestInState:
+    def test_in_state_matches_machine_rows(self):
+        ctx = ctx_for({"x": [0, 0, 0]})
+        ctx.machine_states["m"] = np.array(["a", "b", "a"])
+        codes = evaluate_formula(parse_formula("in_state(m, a)"), ctx)
+        assert list(codes) == [T, F, T]
+
+    def test_undefined_machine_rejected(self):
+        with pytest.raises(EvaluationError):
+            eval_f("in_state(ghost, s)", {"x": [1]})
+
+    def test_unknown_state_name_rejected(self):
+        ctx = ctx_for({"x": [0]})
+        ctx.machine_states["m"] = np.array(["a"])
+        ctx.machine_alphabets["m"] = frozenset({"a", "b"})
+        with pytest.raises(EvaluationError) as excinfo:
+            evaluate_formula(parse_formula("in_state(m, typo)"), ctx)
+        assert "typo" in str(excinfo.value)
+
+
+class TestPaperRuleSemantics:
+    """Rule formulas behave as §III-C describes on hand-built rows."""
+
+    def test_rule5_shape(self):
+        signals = {
+            "BrakeRequested": [1, 1, 1, 0],
+            "RequestedDecel": [-2.0, 0.0, 1.5, 1.5],
+        }
+        codes = eval_f("BrakeRequested -> RequestedDecel <= 0", signals)
+        assert list(codes) == [T, T, F, T]
+
+    def test_rule1_recovery_within_window(self):
+        # Headway dips below 1.0 but recovers 2 rows later (within 5 s).
+        signals = {
+            "TargetRange": [30, 20, 18, 30, 30],
+            "Velocity": [25, 25, 25, 25, 25],
+        }
+        codes = eval_f(
+            "TargetRange / Velocity < 1.0 -> "
+            "eventually[0, 5s] TargetRange / Velocity > 1.0",
+            signals,
+        )
+        assert (codes != F).all()
+
+    def test_rule6_shape(self):
+        signals = {
+            "VehicleAhead": [1, 1, 1],
+            "TargetRange": [0.5, 0.5, 30.0],
+            "TorqueRequested": [1, 0, 1],
+            "RequestedTorque": [100.0, 100.0, 100.0],
+        }
+        codes = eval_f(
+            "(VehicleAhead and TargetRange < 1) -> "
+            "(not TorqueRequested or RequestedTorque < 0)",
+            signals,
+        )
+        assert list(codes) == [F, T, T]
+
+
+class TestPastOperators:
+    def test_once_window(self):
+        # once[0, 40ms]: this row or either of the two before it.
+        codes = eval_f("once[0, 40ms] x > 0", {"x": [0, 1, 0, 0, 0, 0]})
+        assert list(codes) == [U, T, T, T, F, F]
+
+    def test_historically_window(self):
+        codes = eval_f(
+            "historically[0, 40ms] x > 0", {"x": [1, 1, 1, 0, 1, 1]}
+        )
+        assert list(codes) == [U, U, T, F, F, F]
+
+    def test_truncated_past_is_unknown_not_false(self):
+        # Row 0's past window precedes the trace: a TRUE inside still
+        # decides `once`, and a FALSE still decides `historically`.
+        codes = eval_f("once[0, 100ms] x > 0", {"x": [1, 0]})
+        assert codes[0] == T
+        codes = eval_f("historically[0, 100ms] x > 0", {"x": [0, 1]})
+        assert codes[0] == F
+
+    def test_delayed_past_window(self):
+        # once[40ms, 40ms]: exactly the row two steps back.
+        codes = eval_f("once[40ms, 40ms] x > 0", {"x": [1, 0, 0, 0]})
+        assert list(codes) == [U, U, T, F]
+
+    def test_past_window_tighter_than_period_rejected(self):
+        with pytest.raises(EvaluationError):
+            eval_f("once[5ms, 15ms] x > 0", {"x": [1, 1]})

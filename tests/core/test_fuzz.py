@@ -1,0 +1,84 @@
+"""Fuzzing the language front end and evaluator.
+
+Robustness of the monitor itself: arbitrary input text must either parse
+or raise :class:`SpecError` (never any other exception), and any formula
+that parses must evaluate on any trace to verdict codes in {0, 1, 2} —
+or raise :class:`EvaluationError` for missing signals/machines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import uniform_trace
+from repro.core.evaluator import EvalContext, evaluate_formula
+from repro.core.lexer import KEYWORDS
+from repro.core.parser import parse_formula
+from repro.errors import EvaluationError, SpecError
+
+# Text drawn from the language's own vocabulary plus junk — far more
+# likely to reach deep parser states than pure random unicode.
+_tokens = st.sampled_from(
+    sorted(KEYWORDS)
+    + ["x", "y", "Velocity", "0", "1.5", "(", ")", "[", "]", ",",
+       "<", "<=", ">", ">=", "==", "!=", "->", "+", "-", "*", "/",
+       "s", "ms", ":", "@", "$"]
+)
+_soup = st.lists(_tokens, min_size=1, max_size=15).map(" ".join)
+
+
+class TestParserFuzz:
+    @given(_soup)
+    @settings(max_examples=300)
+    def test_token_soup_parses_or_raises_spec_error(self, text):
+        try:
+            formula = parse_formula(text)
+        except SpecError:
+            return
+        assert formula is not None
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=200)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_formula(text)
+        except SpecError:
+            pass
+
+    @given(_soup)
+    @settings(max_examples=150)
+    def test_whatever_parses_also_prints_and_reparses(self, text):
+        try:
+            formula = parse_formula(text)
+        except SpecError:
+            return
+        assert parse_formula(str(formula)) == formula
+
+
+class TestEvaluatorFuzz:
+    @given(
+        _soup,
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=32),
+            min_size=2,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=200)
+    def test_parsed_formulas_evaluate_to_valid_codes(self, text, values):
+        try:
+            formula = parse_formula(text)
+        except SpecError:
+            return
+        trace = uniform_trace(
+            {"x": values, "y": values, "Velocity": values}
+        )
+        ctx = EvalContext(trace.to_view(0.02))
+        try:
+            codes = evaluate_formula(formula, ctx)
+        except EvaluationError:
+            return  # unknown signal/machine or degenerate window: fine
+        assert codes.dtype == np.int8
+        assert codes.shape == (ctx.n_rows,)
+        assert set(np.unique(codes)) <= {0, 1, 2}

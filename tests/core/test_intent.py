@@ -1,0 +1,108 @@
+"""Intent approximation filters (§V-A / §IV-A triage)."""
+
+import numpy as np
+import pytest
+
+from helpers import uniform_trace
+from repro.core.evaluator import EvalContext
+from repro.core.intent import (
+    DurationFilter,
+    MagnitudeFilter,
+    PersistenceFilter,
+    apply_filters,
+)
+from repro.core.violations import Violation
+
+
+def make_ctx(signals):
+    trace = uniform_trace(signals)
+    return EvalContext(trace.to_view(0.02))
+
+
+def violation(start_row, end_row, period=0.02):
+    return Violation(
+        "r", start_row, end_row, start_row * period, end_row * period, period
+    )
+
+
+class TestDurationFilter:
+    def test_short_violation_dropped(self):
+        ctx = make_ctx({"x": [0] * 10})
+        f = DurationFilter(min_duration=0.1)
+        assert not f.keep(violation(0, 0), ctx)
+
+    def test_long_violation_kept(self):
+        ctx = make_ctx({"x": [0] * 10})
+        f = DurationFilter(min_duration=0.1)
+        assert f.keep(violation(0, 6), ctx)
+
+    def test_describe(self):
+        assert "0.1" in DurationFilter(0.1).describe()
+
+
+class TestPersistenceFilter:
+    def test_one_cycle_tolerated(self):
+        # The paper's "one cycle of bad requested deceleration".
+        ctx = make_ctx({"x": [0] * 5})
+        f = PersistenceFilter(min_rows=2)
+        assert not f.keep(violation(2, 2), ctx)
+        assert f.keep(violation(2, 3), ctx)
+
+
+class TestMagnitudeFilter:
+    def test_negligible_peak_dropped(self):
+        ctx = make_ctx({"T": [100, 101, 102, 103, 104]})
+        f = MagnitudeFilter("delta(T)", threshold=10.0)
+        assert not f.keep(violation(1, 3), ctx)
+
+    def test_significant_peak_kept(self):
+        ctx = make_ctx({"T": [100, 150, 200, 250, 300]})
+        f = MagnitudeFilter("delta(T)", threshold=10.0)
+        assert f.keep(violation(1, 3), ctx)
+
+    def test_absolute_value_used(self):
+        ctx = make_ctx({"T": [300, 200, 100, 0, -100]})
+        f = MagnitudeFilter("delta(T)", threshold=10.0)
+        assert f.keep(violation(1, 3), ctx)
+
+    def test_non_finite_span_never_negligible(self):
+        ctx = make_ctx({"T": [float("nan")] * 5})
+        f = MagnitudeFilter("T", threshold=1e9)
+        assert f.keep(violation(1, 3), ctx)
+
+    def test_accepts_prebuilt_expression(self):
+        from repro.core.parser import parse_expr
+
+        f = MagnitudeFilter(parse_expr("T"), threshold=50.0)
+        ctx = make_ctx({"T": [100.0] * 3})
+        assert f.keep(violation(0, 2), ctx)
+
+    def test_describe_mentions_threshold(self):
+        assert "15" in MagnitudeFilter("delta(T)", 15.0).describe()
+
+
+class TestApplyFilters:
+    def test_dismissal_by_any_filter_suffices(self):
+        ctx = make_ctx({"T": [0, 1000, 2000]})
+        long_and_large = violation(0, 2)
+        kept, dropped = apply_filters(
+            [long_and_large],
+            [DurationFilter(10.0), MagnitudeFilter("T", 1.0)],
+            ctx,
+        )
+        # Fails the duration filter even though magnitude passes.
+        assert kept == []
+        assert dropped == [long_and_large]
+
+    def test_no_filters_keeps_everything(self):
+        ctx = make_ctx({"x": [0]})
+        v = violation(0, 0)
+        kept, dropped = apply_filters([v], [], ctx)
+        assert kept == [v]
+        assert dropped == []
+
+    def test_partition_is_complete(self):
+        ctx = make_ctx({"x": [0] * 20})
+        violations = [violation(0, 0), violation(5, 14), violation(18, 18)]
+        kept, dropped = apply_filters(violations, [DurationFilter(0.1)], ctx)
+        assert sorted(kept + dropped, key=lambda v: v.start_row) == violations

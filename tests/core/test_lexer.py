@@ -1,0 +1,77 @@
+"""Specification language tokenizer."""
+
+import pytest
+
+from repro.core.lexer import KEYWORDS, Token, tokenize
+from repro.errors import SpecError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenKinds:
+    def test_numbers(self):
+        assert texts("1 2.5 .5 1e3 2.5e-2") == ["1", "2.5", ".5", "1e3", "2.5e-2"]
+        assert all(t.kind == "number" for t in tokenize("1 2.5")[:-1])
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("Velocity and rising")
+        assert tokens[0].kind == "ident"
+        assert tokens[1].kind == "keyword"
+        assert tokens[2].kind == "keyword"
+
+    def test_all_keywords_recognized(self):
+        for keyword in KEYWORDS:
+            token = tokenize(keyword)[0]
+            assert token.kind == "keyword", keyword
+
+    def test_operators(self):
+        assert texts("<= >= == != -> < > + - * / ( ) [ ] , :") == [
+            "<=", ">=", "==", "!=", "->", "<", ">", "+", "-", "*", "/",
+            "(", ")", "[", "]", ",", ":",
+        ]
+
+    def test_end_token_appended(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "end"
+
+    def test_empty_input_yields_only_end(self):
+        assert kinds("") == ["end"]
+
+
+class TestLexing:
+    def test_whitespace_ignored(self):
+        assert texts("a   and\t b\n") == ["a", "and", "b"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+    def test_arrow_not_split(self):
+        assert texts("a -> b") == ["a", "->", "b"]
+
+    def test_le_not_split(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            tokenize("a & b")
+        assert "position 2" in str(excinfo.value)
+
+    def test_underscored_identifiers(self):
+        assert texts("in_state my_signal_2") == ["in_state", "my_signal_2"]
+
+    def test_realistic_rule_tokenizes(self):
+        source = (
+            "TargetRange / Velocity < 1.0 -> "
+            "eventually[0, 5s] TargetRange / Velocity > 1.0"
+        )
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "end"
+        assert "eventually" in [t.text for t in tokens]

@@ -1,0 +1,284 @@
+"""Online (incremental) monitoring — equivalence with offline checking.
+
+The headline property: for filter-free rules, the online monitor's
+emitted verdicts, violation spans, and undecided-row counts are
+*identical* to the offline monitor's, while its memory stays bounded by
+the retention window.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import multirate_trace, uniform_trace
+from repro.core.evaluator import future_reach
+from repro.core.monitor import Monitor, Rule
+from repro.core.online import OnlineMonitor
+from repro.core.parser import parse_formula
+from repro.core.statemachine import StateMachine
+from repro.core.types import Verdict
+from repro.core.warmup import WarmupSpec
+from repro.errors import TraceError
+
+PERIOD = 0.02
+
+
+def compare(rules, trace, machines=(), min_chunk_rows=7):
+    offline = Monitor(rules, machines=machines, period=PERIOD).check(trace)
+    online = OnlineMonitor(
+        rules, machines=machines, period=PERIOD, min_chunk_rows=min_chunk_rows
+    )
+    online.feed_trace(trace)
+    report = online.finish()
+    return offline, report
+
+
+def assert_equivalent(offline, online):
+    assert offline.letters() == online.letters()
+    for rule_id in offline.letters():
+        off = offline.results[rule_id]
+        on = online.results[rule_id]
+        assert off.verdict is on.verdict, rule_id
+        assert [(v.start_row, v.end_row) for v in off.violations] == [
+            (v.start_row, v.end_row) for v in on.violations
+        ], rule_id
+        assert off.rows_unknown == on.rows_unknown, rule_id
+        assert off.rows_total == on.rows_total, rule_id
+
+
+class TestFutureReach:
+    def test_propositional_is_zero(self):
+        assert future_reach(parse_formula("x > 0 and y"), PERIOD) == 0.0
+
+    def test_next_reaches_one_period(self):
+        assert future_reach(parse_formula("next x > 0"), PERIOD) == PERIOD
+
+    def test_bounded_operators_reach_their_upper_bound(self):
+        assert future_reach(parse_formula("eventually[0, 5s] x > 0"), PERIOD) == 5.0
+        assert future_reach(parse_formula("always[100ms, 400ms] x > 0"), PERIOD) == pytest.approx(0.4)
+
+    def test_nesting_adds(self):
+        formula = parse_formula("always[0, 1] next x > 0")
+        assert future_reach(formula, PERIOD) == pytest.approx(1.0 + PERIOD)
+
+    def test_connectives_take_max(self):
+        formula = parse_formula("(next x > 0) and eventually[0, 2] y > 0")
+        assert future_reach(formula, PERIOD) == 2.0
+
+
+class TestEquivalence:
+    def test_propositional_rule(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        trace = uniform_trace({"x": [1, -1, -1, 1, 1, -1] * 20})
+        assert_equivalent(*compare([rule], trace))
+
+    def test_bounded_eventually_rule(self):
+        rule = Rule.from_text("r", "n", "x < 5 -> eventually[0, 100ms] y > 0")
+        values = ([1.0] * 30 + [10.0] * 10) * 4
+        ys = ([0.0] * 37 + [1.0] * 3) * 4
+        trace = uniform_trace({"x": values, "y": ys})
+        assert_equivalent(*compare([rule], trace))
+
+    def test_next_rule(self):
+        rule = Rule.from_text("r", "n", "x > 0 -> next x > 0")
+        trace = uniform_trace({"x": [1, 1, -1, 1, -1, -1] * 25})
+        assert_equivalent(*compare([rule], trace))
+
+    def test_multirate_delta_rule(self):
+        rule = Rule.from_text("r", "n", "not rising(s, 5)")
+        trace = multirate_trace(
+            {"f": range(120)}, {"s": [i * (i % 7) for i in range(30)]}
+        )
+        assert_equivalent(*compare([rule], trace))
+
+    def test_gated_rule_with_settle(self):
+        rule = Rule.from_text(
+            "r", "n", "x > 0", gate="g", initial_settle=0.1
+        )
+        trace = uniform_trace(
+            {"x": [-1] * 100, "g": [0] * 30 + [1] * 70}
+        )
+        assert_equivalent(*compare([rule], trace))
+
+    def test_warmup_rule(self):
+        rule = Rule.from_text(
+            "r", "n", "x > 0", warmup=WarmupSpec.parse("t > 0", 0.08)
+        )
+        columns = {
+            "x": [1] * 20 + [-1] * 6 + [1] * 74,
+            "t": [0] * 20 + [1] + [0] * 79,
+        }
+        trace = uniform_trace(columns)
+        assert_equivalent(*compare([rule], trace))
+
+    def test_machine_gated_rule(self):
+        machine = StateMachine(
+            "m", ("idle", "active"), "idle",
+            (("idle", "active", "e > 0"), ("active", "idle", "e <= 0")),
+        )
+        rule = Rule.from_text("r", "n", "in_state(m, active) -> x > 0")
+        trace = uniform_trace(
+            {
+                "e": ([0] * 10 + [1] * 15) * 6,
+                "x": [(-1) ** i for i in range(150)],
+            }
+        )
+        assert_equivalent(*compare([rule], trace, machines=[machine]))
+
+    def test_paper_rules_on_hil_trace(self, nominal_trace):
+        from repro.rules import paper_rules
+
+        assert_equivalent(
+            *compare(paper_rules(), nominal_trace, min_chunk_rows=100)
+        )
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=-3, max_value=3),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=30,
+            max_size=150,
+        ),
+        chunk=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, data, chunk):
+        rules = [
+            Rule.from_text("p", "p", "x > 0", gate="g"),
+            Rule.from_text("e", "e", "eventually[0, 60ms] x > 0"),
+            Rule.from_text("n", "n", "x > 0 -> next x >= 0"),
+        ]
+        trace = uniform_trace(
+            {
+                "x": [float(x) for x, _ in data],
+                "g": [float(g) for _, g in data],
+            }
+        )
+        assert_equivalent(*compare(rules, trace, min_chunk_rows=chunk))
+
+
+class TestStreamingBehaviour:
+    def test_violations_emitted_before_finish(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        online = OnlineMonitor([rule], min_chunk_rows=5)
+        live = []
+        values = [1] * 10 + [-1] * 10 + [1] * 30
+        for i, value in enumerate(values):
+            live.extend(online.feed(i * PERIOD, "x", float(value)))
+        assert live, "violation should surface during streaming"
+        assert live[0].start_row == 10
+
+    def test_memory_stays_bounded(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        online = OnlineMonitor([rule], min_chunk_rows=10, retention=0.5)
+        for i in range(5000):
+            online.feed(i * PERIOD, "x", 1.0)
+        # The rolling buffer holds roughly retention + chunk, never the
+        # whole 100 s stream.
+        assert online._buffer.update_count() < 500
+
+    def test_irrelevant_signals_ignored(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        online = OnlineMonitor([rule])
+        assert online.feed(0.0, "unrelated", 1.0) == []
+        assert online._buffer.is_empty()
+
+    def test_decision_latency_reflects_rule_horizon(self):
+        fast = OnlineMonitor([Rule.from_text("r", "n", "x > 0")])
+        slow = OnlineMonitor(
+            [Rule.from_text("r", "n", "eventually[0, 5s] x > 0")]
+        )
+        assert slow.decision_latency > fast.decision_latency
+        assert slow.decision_latency >= 5.0
+
+    def test_feed_after_finish_rejected(self):
+        online = OnlineMonitor([Rule.from_text("r", "n", "x > 0")])
+        online.feed(0.0, "x", 1.0)
+        online.finish()
+        with pytest.raises(TraceError):
+            online.feed(1.0, "x", 1.0)
+        with pytest.raises(TraceError):
+            online.finish()
+
+    def test_empty_stream_finishes_unknown(self):
+        online = OnlineMonitor([Rule.from_text("r", "n", "x > 0")])
+        report = online.finish()
+        assert report.results["r"].verdict is Verdict.UNKNOWN
+
+    def test_intent_filters_applied_online(self):
+        from repro.core.intent import PersistenceFilter
+
+        rule = Rule.from_text("r", "n", "x > 0").relaxed(PersistenceFilter(3))
+        trace = uniform_trace({"x": [1] * 20 + [-1] + [1] * 40})
+        online = OnlineMonitor([rule], min_chunk_rows=10)
+        online.feed_trace(trace)
+        report = online.finish()
+        result = report.results["r"]
+        assert not result.violated
+        assert result.dismissed
+
+
+class TestPastOperatorsOnline:
+    def test_once_rule_equivalence(self):
+        rule = Rule.from_text("r", "n", "x > 1 -> once[0, 2s] y > 0")
+        ys = [0] * 30 + [1] * 5 + [0] * 115
+        xs = [0] * 40 + [2] * 20 + [0] * 90
+        trace = uniform_trace(
+            {"x": [float(v) for v in xs], "y": [float(v) for v in ys]}
+        )
+        assert_equivalent(*compare([rule], trace, min_chunk_rows=9))
+
+    def test_historically_rule_equivalence(self):
+        rule = Rule.from_text("r", "n", "historically[0, 100ms] x >= 0")
+        xs = [1] * 50 + [-1] * 3 + [1] * 60
+        trace = uniform_trace({"x": [float(v) for v in xs]})
+        assert_equivalent(*compare([rule], trace, min_chunk_rows=13))
+
+    def test_past_reach_extends_online_history(self):
+        short = OnlineMonitor([Rule.from_text("r", "n", "x > 0")])
+        long = OnlineMonitor(
+            [Rule.from_text("r", "n", "once[0, 8s] x > 0")]
+        )
+        assert long._history_rows > short._history_rows
+        # Past windows do not delay decisions.
+        assert long.decision_latency == short.decision_latency
+
+
+class TestMachineEquivalenceProperty:
+    @given(
+        events=st.lists(
+            st.integers(min_value=-1, max_value=1), min_size=30, max_size=120
+        ),
+        chunk=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_machine_state_continuity_across_chunks(self, events, chunk):
+        """Machine state must be seamless across chunk boundaries for any
+        trace and any chunking — the online monitor resumes each machine
+        from its saved state."""
+        machine = StateMachine(
+            "m",
+            ("low", "mid", "high"),
+            "low",
+            (
+                ("low", "mid", "e > 0"),
+                ("mid", "high", "e > 0"),
+                ("high", "mid", "e < 0"),
+                ("mid", "low", "e < 0"),
+            ),
+        )
+        rule = Rule.from_text(
+            "r", "n", "in_state(m, high) -> x > 0"
+        )
+        trace = uniform_trace(
+            {
+                "e": [float(v) for v in events],
+                "x": [float((-1) ** i) for i in range(len(events))],
+            }
+        )
+        assert_equivalent(
+            *compare([rule], trace, machines=[machine], min_chunk_rows=chunk)
+        )

@@ -1,0 +1,74 @@
+"""Partial test oracle semantics."""
+
+import pytest
+
+from helpers import uniform_trace
+from repro.core.monitor import Monitor, Rule
+from repro.core.oracle import OracleVerdict, TestOracle
+
+
+def oracle_for(*rule_specs):
+    rules = [
+        Rule.from_text("r%d" % i, "rule %d" % i, spec)
+        for i, spec in enumerate(rule_specs)
+    ]
+    return TestOracle(Monitor(rules))
+
+
+class TestVerdicts:
+    def test_pass_when_all_rules_definitively_true(self):
+        oracle = oracle_for("x > 0")
+        outcome = oracle.judge(uniform_trace({"x": [1, 2, 3]}))
+        assert outcome.verdict is OracleVerdict.PASS
+        assert not outcome.failed
+        assert outcome.failures == {}
+
+    def test_fail_on_any_violation(self):
+        oracle = oracle_for("x > 0", "x < 100")
+        outcome = oracle.judge(uniform_trace({"x": [1, -1, 1]}))
+        assert outcome.verdict is OracleVerdict.FAIL
+        assert outcome.failed
+        assert list(outcome.failures) == ["r0"]
+
+    def test_inconclusive_on_undecided_rows(self):
+        oracle = oracle_for("eventually[0, 1s] x > 0")
+        outcome = oracle.judge(uniform_trace({"x": [0, 0]}))
+        assert outcome.verdict is OracleVerdict.INCONCLUSIVE
+
+    def test_fail_dominates_inconclusive(self):
+        oracle = oracle_for("x > 0", "eventually[0, 1s] x > 5")
+        outcome = oracle.judge(uniform_trace({"x": [-1, 0]}))
+        assert outcome.verdict is OracleVerdict.FAIL
+
+
+class TestExplanations:
+    def test_fail_explanation_lists_violations(self):
+        oracle = oracle_for("x > 0")
+        outcome = oracle.judge(uniform_trace({"x": [1, -1]}))
+        text = outcome.explain()
+        assert "FAIL" in text
+        assert "r0" in text
+
+    def test_inconclusive_explanation_counts_unknowns(self):
+        oracle = oracle_for("eventually[0, 1s] x > 0")
+        outcome = oracle.judge(uniform_trace({"x": [0, 0]}))
+        assert "undecidable" in outcome.explain()
+
+    def test_pass_explanation_is_clean(self):
+        oracle = oracle_for("x > 0")
+        text = oracle.judge(uniform_trace({"x": [1]})).explain()
+        assert "PASS" in text
+
+
+class TestWindowedJudgement:
+    def test_judge_window(self):
+        oracle = oracle_for("x > 0")
+        trace = uniform_trace({"x": [-1] * 5 + [1] * 5})
+        outcome = oracle.judge(trace, start=0.1, end=0.18)
+        assert outcome.verdict is OracleVerdict.PASS
+
+    def test_judge_report_reuses_existing_report(self):
+        oracle = oracle_for("x > 0")
+        report = oracle.monitor.check(uniform_trace({"x": [-1]}))
+        outcome = oracle.judge_report(report)
+        assert outcome.failed

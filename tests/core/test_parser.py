@@ -1,0 +1,301 @@
+"""Specification language parser: grammar, precedence, sugar, errors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ast import (
+    Always,
+    And,
+    Binary,
+    BoolConst,
+    Comparison,
+    Constant,
+    Eventually,
+    Fresh,
+    Implies,
+    InState,
+    Next,
+    Not,
+    Or,
+    SignalPredicate,
+    SignalRef,
+    TraceFunc,
+    Unary,
+)
+from repro.core.parser import parse_expr, parse_formula
+from repro.errors import SpecError
+
+
+class TestExpressions:
+    def test_number(self):
+        assert parse_expr("3.5") == Constant(3.5)
+
+    def test_signal_reference(self):
+        assert parse_expr("Velocity") == SignalRef("Velocity")
+
+    def test_precedence_multiplication_over_addition(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr == Binary("+", Constant(1.0), Binary("*", Constant(2.0), Constant(3.0)))
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr == Binary("*", Binary("+", Constant(1.0), Constant(2.0)), Constant(3.0))
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 3 - 2")
+        assert expr == Binary("-", Binary("-", Constant(10.0), Constant(3.0)), Constant(2.0))
+
+    def test_unary_minus(self):
+        assert parse_expr("-x") == Unary("-", SignalRef("x"))
+        assert parse_expr("--x") == Unary("-", Unary("-", SignalRef("x")))
+
+    def test_abs_and_minmax(self):
+        assert parse_expr("abs(x)") == Unary("abs", SignalRef("x"))
+        assert parse_expr("min(a, b)") == Binary("min", SignalRef("a"), SignalRef("b"))
+        assert parse_expr("max(a, 1)") == Binary("max", SignalRef("a"), Constant(1.0))
+
+    def test_trace_functions(self):
+        assert parse_expr("delta(T)") == TraceFunc("delta", "T")
+        assert parse_expr("delta_naive(T)") == TraceFunc("delta_naive", "T")
+        assert parse_expr("rate(T)") == TraceFunc("rate", "T")
+        assert parse_expr("prev(T)") == TraceFunc("prev", "T")
+        assert parse_expr("age(T)") == TraceFunc("age", "T")
+
+    def test_signals_collected(self):
+        expr = parse_expr("a + delta(b) * prev(c)")
+        assert set(expr.signals()) == {"a", "b", "c"}
+
+
+class TestFormulas:
+    def test_boolean_constants(self):
+        assert parse_formula("true") == BoolConst(True)
+        assert parse_formula("false") == BoolConst(False)
+
+    def test_bool_signal_atom(self):
+        assert parse_formula("ACCEnabled") == SignalPredicate("ACCEnabled")
+
+    def test_comparison(self):
+        formula = parse_formula("Velocity > 30")
+        assert formula == Comparison(">", SignalRef("Velocity"), Constant(30.0))
+
+    def test_all_relational_operators(self):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            formula = parse_formula("a %s b" % op)
+            assert isinstance(formula, Comparison)
+            assert formula.op == op
+
+    def test_precedence_and_over_or(self):
+        formula = parse_formula("a or b and c")
+        assert formula == Or(
+            SignalPredicate("a"),
+            And(SignalPredicate("b"), SignalPredicate("c")),
+        )
+
+    def test_implies_lowest_and_right_associative(self):
+        formula = parse_formula("a -> b -> c")
+        assert formula == Implies(
+            SignalPredicate("a"),
+            Implies(SignalPredicate("b"), SignalPredicate("c")),
+        )
+
+    def test_not_binds_tighter_than_and(self):
+        formula = parse_formula("not a and b")
+        assert formula == And(Not(SignalPredicate("a")), SignalPredicate("b"))
+
+    def test_parenthesized_formula(self):
+        formula = parse_formula("(a or b) and c")
+        assert isinstance(formula, And)
+
+    def test_comparison_with_parenthesized_expr(self):
+        formula = parse_formula("(a + b) > c")
+        assert isinstance(formula, Comparison)
+
+    def test_machines_collected(self):
+        formula = parse_formula("in_state(acc, engaged) and x > 0")
+        assert formula.machines() == ("acc",)
+
+
+class TestTemporalOperators:
+    def test_bounded_always(self):
+        formula = parse_formula("always[0, 5] x > 0")
+        assert isinstance(formula, Always)
+        assert (formula.lo, formula.hi) == (0.0, 5.0)
+
+    def test_bounded_eventually_with_units(self):
+        formula = parse_formula("eventually[100ms, 2s] x > 0")
+        assert isinstance(formula, Eventually)
+        assert formula.lo == pytest.approx(0.1)
+        assert formula.hi == pytest.approx(2.0)
+
+    def test_colon_separator(self):
+        formula = parse_formula("always[0:400ms] x > 0")
+        assert formula.hi == pytest.approx(0.4)
+
+    def test_next(self):
+        formula = parse_formula("next x > 0")
+        assert isinstance(formula, Next)
+
+    def test_temporal_nesting_parses(self):
+        formula = parse_formula("always[0,1] eventually[0,1] x > 0")
+        assert isinstance(formula, Always)
+        assert isinstance(formula.operand, Eventually)
+
+    def test_has_temporal_flag(self):
+        assert parse_formula("next x > 0").has_temporal()
+        assert not parse_formula("x > 0 and y").has_temporal()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(SpecError):
+            parse_formula("always[5, 1] x > 0")
+
+
+class TestSugar:
+    def test_rising_desugars_to_delta(self):
+        assert parse_formula("rising(T)") == Comparison(
+            ">", TraceFunc("delta", "T"), Constant(0.0)
+        )
+
+    def test_falling_desugars_to_negated_threshold(self):
+        assert parse_formula("falling(T)") == Comparison(
+            "<", TraceFunc("delta", "T"), Unary("-", Constant(0.0))
+        )
+
+    def test_rising_with_threshold(self):
+        assert parse_formula("rising(T, 5)") == Comparison(
+            ">", TraceFunc("delta", "T"), Constant(5.0)
+        )
+
+    def test_fresh_atom(self):
+        assert parse_formula("fresh(T)") == Fresh("T")
+
+    def test_in_state_atom(self):
+        assert parse_formula("in_state(acc, fault)") == InState("acc", "fault")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "and",
+            "x >",
+            "always x > 0",          # missing bounds
+            "always[1] x > 0",       # missing second bound
+            "x > 0 extra",           # trailing input
+            "delta(1)",              # function needs a signal name
+            "in_state(acc)",         # missing state
+            "(x > 0",                # unbalanced paren
+            "min(a)",                # min needs two arguments
+        ],
+    )
+    def test_malformed_input_rejected(self, source):
+        with pytest.raises(SpecError):
+            parse_formula(source)
+
+    def test_error_mentions_position_and_source(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_formula("x > ")
+        assert "x > " in str(excinfo.value)
+
+
+class TestPaperRules:
+    """All seven paper rules must parse (guards the grammar's coverage)."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "ServiceACC -> not ACCEnabled",
+            "TargetRange / Velocity < 1.0 -> "
+            "eventually[0, 5s] TargetRange / Velocity > 1.0",
+            "TargetRange < 0.5 * (0.6 + 0.6 * SelHeadway) * Velocity -> "
+            "not rising(RequestedTorque)",
+            "(Velocity > ACCSetSpeed and RequestedTorque < 0) -> "
+            "next RequestedTorque < 0",
+            "Velocity > ACCSetSpeed -> "
+            "eventually[0, 400ms] not rising(RequestedTorque)",
+            "BrakeRequested -> RequestedDecel <= 0",
+            "(VehicleAhead and TargetRange < 1) -> "
+            "(not TorqueRequested or RequestedTorque < 0)",
+        ],
+    )
+    def test_rule_parses(self, source):
+        assert parse_formula(source) is not None
+
+
+# ----------------------------------------------------------------------
+# Property: printing then re-parsing is the identity on formula ASTs.
+# ----------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "Velocity", "TargetRange"])
+
+_exprs = st.recursive(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=100.0).map(Constant),
+        _names.map(SignalRef),
+        st.tuples(st.sampled_from(["delta", "rate", "prev"]), _names).map(
+            lambda p: TraceFunc(*p)
+        ),
+    ),
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["+", "-", "*", "/"]), children, children).map(
+            lambda t: Binary(t[0], t[1], t[2])
+        ),
+        children.map(lambda e: Unary("abs", e)),
+    ),
+    max_leaves=6,
+)
+
+_formulas = st.recursive(
+    st.one_of(
+        st.booleans().map(BoolConst),
+        _names.map(SignalPredicate),
+        st.tuples(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), _exprs, _exprs).map(
+            lambda t: Comparison(t[0], t[1], t[2])
+        ),
+    ),
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(lambda t: And(*t)),
+        st.tuples(children, children).map(lambda t: Or(*t)),
+        st.tuples(children, children).map(lambda t: Implies(*t)),
+        children.map(Next),
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2.0),
+            st.floats(min_value=2.0, max_value=5.0),
+            children,
+        ).map(lambda t: Always(t[0], t[1], t[2])),
+    ),
+    max_leaves=8,
+)
+
+
+@given(_formulas)
+@settings(max_examples=120)
+def test_pretty_print_round_trip(formula):
+    assert parse_formula(str(formula)) == formula
+
+
+class TestPastOperators:
+    def test_once_parses(self):
+        from repro.core.ast import Historically, Once
+
+        formula = parse_formula("once[0, 2s] x > 0")
+        assert isinstance(formula, Once)
+        assert (formula.lo, formula.hi) == (0.0, 2.0)
+
+    def test_historically_parses(self):
+        from repro.core.ast import Historically
+
+        formula = parse_formula("historically[100ms, 1s] x > 0")
+        assert isinstance(formula, Historically)
+        assert formula.lo == pytest.approx(0.1)
+
+    def test_past_operators_round_trip(self):
+        for source in ("once[0.0, 2.0] (x > 0.0)",
+                       "historically[0.5, 1.5] (x > 0.0)"):
+            assert str(parse_formula(source)) == source
+
+    def test_past_operators_count_as_temporal(self):
+        assert parse_formula("once[0, 1] x > 0").has_temporal()
+        assert parse_formula("historically[0, 1] x > 0").has_temporal()

@@ -1,0 +1,64 @@
+"""Multi-rate trend analysis (§V-C1 / E4)."""
+
+import numpy as np
+import pytest
+
+from helpers import multirate_trace, uniform_trace
+from repro.core.resampler import compare_trends, update_interval_histogram
+from repro.logs.trace import Trace
+
+
+class TestTrendComparison:
+    def test_steady_rise_on_slow_signal(self):
+        # Slow signal rising every 4th row: naive misses 3 of 4 rows.
+        trace = multirate_trace({"f": range(16)}, {"s": [0, 1, 2, 3]})
+        view = trace.to_view(0.02)
+        cmp = compare_trends(view, "s")
+        assert cmp.fresh_rising_rows > cmp.naive_rising_rows
+        assert cmp.spurious_stall_rows > 0
+        assert cmp.stall_fraction == pytest.approx(0.75, abs=0.15)
+
+    def test_fast_signal_has_no_stalls(self):
+        trace = uniform_trace({"x": range(20)})
+        cmp = compare_trends(trace.to_view(0.02), "x")
+        assert cmp.spurious_stall_rows == 0
+        assert cmp.stall_fraction == 0.0
+
+    def test_constant_signal(self):
+        trace = uniform_trace({"x": [5.0] * 10})
+        cmp = compare_trends(trace.to_view(0.02), "x")
+        assert cmp.naive_rising_rows == 0
+        assert cmp.fresh_rising_rows == 0
+        assert cmp.stall_fraction == 0.0
+
+    def test_max_updates_between(self):
+        trace = multirate_trace({"f": range(16)}, {"s": [0, 1, 2, 3]})
+        cmp = compare_trends(trace.to_view(0.02), "s")
+        assert cmp.max_updates_between == 3  # age peaks at ratio-1
+
+
+class TestIntervalHistogram:
+    def test_clean_four_to_one_ratio(self):
+        trace = multirate_trace({"f": range(32)}, {"s": range(8)})
+        hist = update_interval_histogram(trace.to_view(0.02), "s")
+        assert hist[4] == 7
+        assert hist[:4].sum() == 0
+
+    def test_jitter_spreads_the_histogram(self):
+        # Hand-build a jittered slow signal: one arrival delayed past a
+        # fast row, creating a 5-row gap then a 3-row gap (§V-C1).
+        trace = Trace()
+        for i in range(20):
+            trace.record("f", i * 0.02, float(i))
+        arrivals = [0.0, 0.08, 0.161, 0.24, 0.32]  # 0.161 lands one row late
+        for i, t in enumerate(arrivals):
+            trace.record("s", t, float(i))
+        hist = update_interval_histogram(trace.to_view(0.02), "s")
+        assert hist[5] >= 1
+        assert hist[3] >= 1
+
+    def test_single_update_gives_empty_histogram(self):
+        trace = uniform_trace({"f": range(5)})
+        trace.record("s", 0.0, 1.0)
+        hist = update_interval_histogram(trace.to_view(0.02), "s")
+        assert hist.sum() == 0

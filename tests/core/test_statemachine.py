@@ -1,0 +1,134 @@
+"""Mode state machines (§V-B)."""
+
+import numpy as np
+import pytest
+
+from helpers import uniform_trace
+from repro.core.evaluator import EvalContext
+from repro.core.statemachine import StateMachine, Transition
+from repro.errors import SpecError
+
+
+def run_machine(machine, signals, period=0.02):
+    trace = uniform_trace(signals, period=period)
+    return machine.run(EvalContext(trace.to_view(period)))
+
+
+def toggle_machine():
+    return StateMachine(
+        name="m",
+        states=("off", "on"),
+        initial="off",
+        transitions=(
+            ("off", "on", "x > 0"),
+            ("on", "off", "x <= 0"),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(SpecError):
+            StateMachine("m", ("a",), "zzz", ())
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(SpecError):
+            StateMachine("m", ("a", "a"), "a", ())
+
+    def test_unknown_transition_states_rejected(self):
+        with pytest.raises(SpecError):
+            StateMachine("m", ("a",), "a", (("a", "b", "true"),))
+        with pytest.raises(SpecError):
+            StateMachine("m", ("a",), "a", (("b", "a", "true"),))
+
+    def test_temporal_guard_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            StateMachine("m", ("a", "b"), "a", (("a", "b", "next x > 0"),))
+        assert "temporal" in str(excinfo.value)
+
+    def test_machine_referencing_guard_rejected(self):
+        with pytest.raises(SpecError):
+            StateMachine(
+                "m", ("a", "b"), "a", (("a", "b", "in_state(other, s)"),)
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            StateMachine("", ("a",), "a", ())
+
+    def test_transition_objects_accepted(self):
+        machine = StateMachine(
+            "m", ("a", "b"), "a", (Transition.parse("a", "b", "x > 0"),)
+        )
+        assert len(machine.transitions) == 1
+
+    def test_guard_signals_collected(self):
+        machine = toggle_machine()
+        assert machine.signals() == ("x",)
+
+    def test_alphabet(self):
+        assert toggle_machine().alphabet == frozenset({"off", "on"})
+
+
+class TestExecution:
+    def test_starts_in_initial_state(self):
+        states = run_machine(toggle_machine(), {"x": [0, 0]})
+        assert list(states) == ["off", "off"]
+
+    def test_transition_fires_on_guard(self):
+        states = run_machine(toggle_machine(), {"x": [0, 1, 1, 0, 1]})
+        assert list(states) == ["off", "on", "on", "off", "on"]
+
+    def test_transition_effective_same_row(self):
+        states = run_machine(toggle_machine(), {"x": [1]})
+        assert states[0] == "on"
+
+    def test_one_transition_per_row(self):
+        # Even with chained guards enabled, only one hop happens per row.
+        machine = StateMachine(
+            "m",
+            ("a", "b", "c"),
+            "a",
+            (("a", "b", "true"), ("b", "c", "true")),
+        )
+        states = run_machine(machine, {"x": [0, 0, 0]})
+        assert list(states) == ["b", "c", "c"]
+
+    def test_declaration_order_resolves_conflicts(self):
+        machine = StateMachine(
+            "m",
+            ("a", "b", "c"),
+            "a",
+            (("a", "b", "x > 0"), ("a", "c", "x > 0")),
+        )
+        states = run_machine(machine, {"x": [1]})
+        assert states[0] == "b"
+
+    def test_unknown_guard_does_not_fire(self):
+        # `x > 0` on a NaN sample is FALSE, so the machine stays put.
+        machine = toggle_machine()
+        states = run_machine(machine, {"x": [float("nan"), 1.0]})
+        assert list(states) == ["off", "on"]
+
+    def test_mode_style_acc_machine(self):
+        machine = StateMachine(
+            name="acc",
+            states=("idle", "engaged", "fault"),
+            initial="idle",
+            transitions=(
+                ("idle", "engaged", "ACCEnabled"),
+                ("engaged", "fault", "ServiceACC"),
+                ("engaged", "idle", "not ACCEnabled"),
+                ("fault", "idle", "not ServiceACC"),
+            ),
+        )
+        states = run_machine(
+            machine,
+            {
+                "ACCEnabled": [0, 1, 1, 1, 0, 0],
+                "ServiceACC": [0, 0, 1, 1, 1, 0],
+            },
+        )
+        assert list(states) == [
+            "idle", "engaged", "fault", "fault", "fault", "idle",
+        ]

@@ -1,0 +1,107 @@
+"""Three-valued verdict algebra (Kleene logic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    FALSE_CODE,
+    TRUE_CODE,
+    UNKNOWN_CODE,
+    Verdict,
+    bools_to_codes,
+    codes_to_bools,
+    summarize_codes,
+)
+
+VERDICTS = [Verdict.FALSE, Verdict.UNKNOWN, Verdict.TRUE]
+verdicts = st.sampled_from(VERDICTS)
+
+
+class TestTruthTables:
+    def test_negation(self):
+        assert ~Verdict.TRUE is Verdict.FALSE
+        assert ~Verdict.FALSE is Verdict.TRUE
+        assert ~Verdict.UNKNOWN is Verdict.UNKNOWN
+
+    def test_conjunction(self):
+        assert (Verdict.TRUE & Verdict.TRUE) is Verdict.TRUE
+        assert (Verdict.TRUE & Verdict.UNKNOWN) is Verdict.UNKNOWN
+        assert (Verdict.FALSE & Verdict.UNKNOWN) is Verdict.FALSE
+
+    def test_disjunction(self):
+        assert (Verdict.FALSE | Verdict.FALSE) is Verdict.FALSE
+        assert (Verdict.FALSE | Verdict.UNKNOWN) is Verdict.UNKNOWN
+        assert (Verdict.TRUE | Verdict.UNKNOWN) is Verdict.TRUE
+
+    def test_implication(self):
+        assert Verdict.FALSE.implies(Verdict.FALSE) is Verdict.TRUE
+        assert Verdict.TRUE.implies(Verdict.FALSE) is Verdict.FALSE
+        assert Verdict.UNKNOWN.implies(Verdict.TRUE) is Verdict.TRUE
+        assert Verdict.UNKNOWN.implies(Verdict.FALSE) is Verdict.UNKNOWN
+
+    def test_predicates(self):
+        assert Verdict.TRUE.is_true
+        assert Verdict.FALSE.is_false
+        assert Verdict.UNKNOWN.is_unknown
+        assert not Verdict.UNKNOWN.is_true
+
+
+class TestAlgebraicLaws:
+    @given(verdicts)
+    def test_double_negation(self, a):
+        assert ~~a is a
+
+    @given(verdicts, verdicts)
+    def test_de_morgan(self, a, b):
+        assert ~(a & b) is (~a | ~b)
+        assert ~(a | b) is (~a & ~b)
+
+    @given(verdicts, verdicts, verdicts)
+    def test_associativity(self, a, b, c):
+        assert ((a & b) & c) is (a & (b & c))
+        assert ((a | b) | c) is (a | (b | c))
+
+    @given(verdicts, verdicts)
+    def test_commutativity(self, a, b):
+        assert (a & b) is (b & a)
+        assert (a | b) is (b | a)
+
+    @given(verdicts)
+    def test_implication_definition(self, a):
+        for b in VERDICTS:
+            assert a.implies(b) is (~a | b)
+
+
+class TestConversions:
+    def test_from_bool(self):
+        assert Verdict.from_bool(True) is Verdict.TRUE
+        assert Verdict.from_bool(False) is Verdict.FALSE
+
+    def test_from_code(self):
+        assert Verdict.from_code(TRUE_CODE) is Verdict.TRUE
+        assert Verdict.from_code(UNKNOWN_CODE) is Verdict.UNKNOWN
+
+    def test_code_array_round_trip(self):
+        mask = np.array([True, False, True])
+        codes = bools_to_codes(mask)
+        assert codes.dtype == np.int8
+        assert np.array_equal(codes_to_bools(codes), mask)
+
+
+class TestSummary:
+    def test_any_false_dominates(self):
+        codes = np.array([TRUE_CODE, FALSE_CODE, UNKNOWN_CODE], dtype=np.int8)
+        assert summarize_codes(codes) is Verdict.FALSE
+
+    def test_unknown_without_false(self):
+        codes = np.array([TRUE_CODE, UNKNOWN_CODE], dtype=np.int8)
+        assert summarize_codes(codes) is Verdict.UNKNOWN
+
+    def test_all_true(self):
+        codes = np.full(5, TRUE_CODE, dtype=np.int8)
+        assert summarize_codes(codes) is Verdict.TRUE
+
+    def test_empty_is_unknown(self):
+        assert summarize_codes(np.array([], dtype=np.int8)) is Verdict.UNKNOWN

@@ -1,0 +1,134 @@
+"""Violation extraction, severity, merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import FALSE_CODE, TRUE_CODE, UNKNOWN_CODE
+from repro.core.violations import (
+    Severity,
+    Violation,
+    extract_violations,
+    merge_close,
+)
+
+T, F, U = TRUE_CODE, FALSE_CODE, UNKNOWN_CODE
+
+
+def codes(*values):
+    return np.array(values, dtype=np.int8)
+
+
+def times_for(codes_array, period=0.02):
+    return period * np.arange(len(codes_array))
+
+
+def extract(code_values, period=0.02, witness=None):
+    arr = codes(*code_values)
+    return extract_violations(arr, times_for(arr, period), "r", period, witness)
+
+
+class TestExtraction:
+    def test_no_false_rows_no_violations(self):
+        assert extract([T, T, U, T]) == []
+
+    def test_single_run(self):
+        violations = extract([T, F, F, T])
+        assert len(violations) == 1
+        v = violations[0]
+        assert (v.start_row, v.end_row) == (1, 2)
+        assert v.rows == 2
+
+    def test_run_at_trace_start(self):
+        violations = extract([F, F, T])
+        assert violations[0].start_row == 0
+
+    def test_run_at_trace_end(self):
+        violations = extract([T, F, F])
+        assert violations[0].end_row == 2
+
+    def test_entire_trace_failing(self):
+        violations = extract([F, F, F])
+        assert len(violations) == 1
+        assert violations[0].rows == 3
+
+    def test_multiple_runs_split_by_non_false(self):
+        violations = extract([F, T, F, U, F])
+        assert len(violations) == 3
+
+    def test_unknown_rows_break_runs_without_violating(self):
+        violations = extract([F, U, F])
+        assert len(violations) == 2
+
+    def test_times_match_rows(self):
+        violations = extract([T, T, F, F, T], period=0.5)
+        v = violations[0]
+        assert v.start_time == pytest.approx(1.0)
+        assert v.end_time == pytest.approx(1.5)
+
+    def test_witness_captured_at_first_row(self):
+        witness = {"x": np.array([0.0, 7.0, 8.0, 0.0])}
+        violations = extract([T, F, F, T], witness=witness)
+        assert violations[0].witness == {"x": 7.0}
+
+    @given(
+        st.lists(st.sampled_from([T, F, U]), min_size=1, max_size=60)
+    )
+    @settings(max_examples=80)
+    def test_extraction_partitions_false_rows_exactly(self, values):
+        arr = codes(*values)
+        violations = extract_violations(arr, times_for(arr), "r", 0.02)
+        covered = set()
+        for v in violations:
+            rows = set(range(v.start_row, v.end_row + 1))
+            assert not (rows & covered), "violations overlap"
+            covered |= rows
+        assert covered == set(np.flatnonzero(arr == F))
+
+
+class TestSeverity:
+    def test_transient(self):
+        v = Violation("r", 0, 0, 0.0, 0.0, period=0.02)
+        assert v.severity is Severity.TRANSIENT
+
+    def test_brief(self):
+        v = Violation("r", 0, 9, 0.0, 0.18, period=0.02)
+        assert v.severity is Severity.BRIEF
+
+    def test_sustained(self):
+        v = Violation("r", 0, 49, 0.0, 0.98, period=0.02)
+        assert v.severity is Severity.SUSTAINED
+
+    def test_duration_counts_rows(self):
+        v = Violation("r", 3, 7, 0.06, 0.14, period=0.02)
+        assert v.rows == 5
+        assert v.duration == pytest.approx(0.1)
+
+    def test_str_mentions_rule_and_severity(self):
+        v = Violation("rule5", 0, 0, 0.0, 0.0, period=0.02)
+        assert "rule5" in str(v)
+        assert "transient" in str(v)
+
+
+class TestMerging:
+    def test_close_violations_merge(self):
+        a = Violation("r", 0, 1, 0.0, 0.02, period=0.02)
+        b = Violation("r", 3, 4, 0.06, 0.08, period=0.02)
+        merged = merge_close([a, b], max_gap=0.05)
+        assert len(merged) == 1
+        assert merged[0].start_row == 0
+        assert merged[0].end_row == 4
+
+    def test_distant_violations_stay_separate(self):
+        a = Violation("r", 0, 1, 0.0, 0.02, period=0.02)
+        b = Violation("r", 50, 51, 1.0, 1.02, period=0.02)
+        assert len(merge_close([a, b], max_gap=0.05)) == 2
+
+    def test_merge_empty(self):
+        assert merge_close([], 0.1) == []
+
+    def test_merge_is_order_insensitive(self):
+        a = Violation("r", 0, 1, 0.0, 0.02, period=0.02)
+        b = Violation("r", 3, 4, 0.06, 0.08, period=0.02)
+        assert merge_close([b, a], 0.05) == merge_close([a, b], 0.05)

@@ -1,0 +1,87 @@
+"""Warm-up suppression after discrete value jumps (§V-C2)."""
+
+import numpy as np
+import pytest
+
+from helpers import uniform_trace
+from repro.core.evaluator import EvalContext
+from repro.core.warmup import WarmupSpec, activation_warmup
+
+
+def mask_for(spec, signals, period=0.02):
+    trace = uniform_trace(signals, period=period)
+    return spec.mask(EvalContext(trace.to_view(period)))
+
+
+class TestWarmupMask:
+    def test_trigger_rows_and_window_masked(self):
+        spec = WarmupSpec.parse("x > 0", duration=0.04)  # 2 rows at 20 ms
+        mask = mask_for(spec, {"x": [0, 1, 0, 0, 0, 0]})
+        assert list(mask) == [False, True, True, True, False, False]
+
+    def test_zero_duration_masks_only_trigger_rows(self):
+        spec = WarmupSpec.parse("x > 0", duration=0.0)
+        mask = mask_for(spec, {"x": [0, 1, 0, 1]})
+        assert list(mask) == [False, True, False, True]
+
+    def test_overlapping_triggers_merge(self):
+        spec = WarmupSpec.parse("x > 0", duration=0.04)
+        mask = mask_for(spec, {"x": [1, 0, 1, 0, 0, 0]})
+        assert list(mask) == [True, True, True, True, True, False]
+
+    def test_no_triggers_no_mask(self):
+        spec = WarmupSpec.parse("x > 0", duration=1.0)
+        mask = mask_for(spec, {"x": [0, 0, 0]})
+        assert not mask.any()
+
+
+class TestActivationWarmup:
+    def test_masks_after_zero_to_nonzero_edge(self):
+        spec = activation_warmup("VehicleAhead", duration=0.04)
+        mask = mask_for(
+            spec, {"VehicleAhead": [0, 0, 1, 1, 1, 1, 1, 1]}
+        )
+        # Row 2 is the activation edge; rows 2..4 masked (2-row window).
+        assert list(mask) == [
+            False, False, True, True, True, False, False, False,
+        ]
+
+    def test_steady_active_signal_not_masked(self):
+        spec = activation_warmup("VehicleAhead", duration=1.0)
+        mask = mask_for(spec, {"VehicleAhead": [1, 1, 1, 1]})
+        # Row 0: prev(x) is defined as x[0], so no edge is seen.
+        assert not mask.any()
+
+    def test_each_reacquisition_triggers_again(self):
+        spec = activation_warmup("VehicleAhead", duration=0.02)
+        mask = mask_for(
+            spec, {"VehicleAhead": [0, 1, 0, 0, 1, 1]}
+        )
+        assert list(mask) == [False, True, True, False, True, True]
+
+
+class TestPaperScenario:
+    def test_range_jump_consistency_check_needs_warmup(self):
+        """The §V-C2 example: on acquisition the first range 'change' is a
+        jump from 0 while relative velocity is already negative — an
+        apparent inconsistency that warm-up suppresses."""
+        signals = {
+            "VehicleAhead": [0, 0, 1, 1, 1, 1],
+            "TargetRange": [0, 0, 60, 59.5, 59, 58.5],
+            "TargetRelVel": [0, 0, -2, -2, -2, -2],
+        }
+        trace = uniform_trace(signals)
+        ctx = EvalContext(trace.to_view(0.02))
+        from repro.core.parser import parse_formula
+        from repro.core.evaluator import evaluate_formula
+        from repro.core.types import FALSE_CODE
+
+        check = parse_formula(
+            "not (rate(TargetRange) > 1 and TargetRelVel < -1)"
+        )
+        codes = evaluate_formula(check, ctx)
+        # Without warm-up the acquisition row violates the check...
+        assert (codes == FALSE_CODE).any()
+        # ...and the activation warm-up masks exactly those rows.
+        mask = activation_warmup("VehicleAhead", 0.06).mask(ctx)
+        assert all(mask[row] for row in np.flatnonzero(codes == FALSE_CODE))

@@ -1,0 +1,118 @@
+"""ControlDesk facade: variables, layouts, scripted injection, capture."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hil.controldesk import ControlDesk
+from repro.hil.simulator import HilSimulator
+from repro.vehicle.scenario import steady_follow
+
+
+@pytest.fixture
+def desk():
+    return ControlDesk(HilSimulator(steady_follow(120.0), seed=9))
+
+
+class TestVariableAccess:
+    def test_plant_variables_readable(self, desk):
+        desk.step(1.0)
+        assert desk.read("Plant/Velocity") > 0.0
+        assert desk.read("Sim/Time") == pytest.approx(1.0, abs=0.02)
+
+    def test_unknown_variable_raises(self, desk):
+        with pytest.raises(SimulationError):
+            desk.read("Nope/Nothing")
+        with pytest.raises(SimulationError):
+            desk.write("Nope/Nothing", 1.0)
+
+    def test_read_only_variable_rejects_write(self, desk):
+        with pytest.raises(SimulationError):
+            desk.write("Plant/Velocity", 99.0)
+
+    def test_variables_listing_sorted(self, desk):
+        names = desk.variables()
+        assert names == tuple(sorted(names))
+        assert "Inject/Velocity/Enable" in names
+
+    def test_driver_overrides_via_variables(self, desk):
+        desk.step(10.0)
+        desk.write("Driver/brake_pressure", 40.0)
+        desk.step(2.0)
+        trace = desk.simulator.recorder.trace
+        assert trace.value_at("ACCEnabled", desk.simulator.time - 0.05) == 0.0
+
+
+class TestScriptedInjection:
+    def test_value_then_enable_injects(self, desk):
+        desk.step(10.0)
+        desk.write("Inject/Velocity/Value", 3.0)
+        desk.write("Inject/Velocity/Enable", 1.0)
+        desk.step(1.0)
+        trace = desk.simulator.recorder.trace
+        assert trace.value_at("Velocity", desk.simulator.time - 0.05) == 3.0
+        assert desk.read("Inject/Velocity/Enable") == 1.0
+
+    def test_disable_restores_pass_through(self, desk):
+        desk.step(10.0)
+        desk.write("Inject/Velocity/Value", 3.0)
+        desk.write("Inject/Velocity/Enable", 1.0)
+        desk.step(0.5)
+        desk.write("Inject/Velocity/Enable", 0.0)
+        desk.step(1.0)
+        trace = desk.simulator.recorder.trace
+        assert trace.value_at("Velocity", desk.simulator.time - 0.05) > 10.0
+
+    def test_enum_injection_coerced_to_int(self, desk):
+        desk.write("Inject/SelHeadway/Value", 3.0)
+        desk.write("Inject/SelHeadway/Enable", 1.0)
+        assert desk.simulator.injection.is_enabled("SelHeadway")
+
+
+class TestCapture:
+    def test_capture_returns_only_the_window(self, desk):
+        desk.step(2.0)
+        window = desk.capture(1.0)
+        assert window.start_time >= 2.0 - 0.05
+        assert window.end_time <= desk.simulator.time + 0.05
+        assert not window.is_empty()
+
+
+class TestLayout:
+    def test_injection_layout_has_all_signal_controls(self, desk):
+        layout = desk.injection_layout()
+        labels = layout.labels()
+        assert "Velocity value" in labels
+        assert "Velocity enable" in labels
+        assert "ACC mode" in labels
+
+    def test_manual_injection_through_panel(self, desk):
+        desk.step(10.0)
+        layout = desk.injection_layout()
+        layout.set("TargetRange value", 0.5)
+        layout.set("TargetRange enable", 1.0)
+        desk.step(0.5)
+        trace = desk.simulator.recorder.trace
+        assert trace.value_at("TargetRange", desk.simulator.time - 0.05) == 0.5
+
+    def test_read_only_control_rejects_set(self, desk):
+        layout = desk.injection_layout()
+        with pytest.raises(SimulationError):
+            layout.set("Velocity", 99.0)
+
+    def test_snapshot_reads_all_controls(self, desk):
+        desk.step(0.5)
+        snapshot = desk.injection_layout().snapshot()
+        assert "Velocity" in snapshot
+        assert isinstance(snapshot["Velocity"], float)
+
+    def test_unknown_label_raises(self, desk):
+        layout = desk.injection_layout()
+        with pytest.raises(SimulationError):
+            layout.read("No such box")
+
+    def test_duplicate_label_rejected(self, desk):
+        layout = desk.injection_layout()
+        with pytest.raises(SimulationError):
+            layout.add_control("Velocity", "Plant/Velocity", writable=False)

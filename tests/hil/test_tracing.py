@@ -1,0 +1,38 @@
+"""Trace recorder behaviour."""
+
+from repro.can.frame import CanFrame
+from repro.hil.tracing import TraceRecorder
+
+
+def frame_at(t):
+    return CanFrame(0x100, b"\x00" * 8, timestamp=t)
+
+
+class TestRecording:
+    def test_records_every_signal_update(self):
+        recorder = TraceRecorder("run")
+        recorder.on_frame(frame_at(0.02), "M", {"a": 1.0, "b": 2.0})
+        recorder.on_frame(frame_at(0.04), "M", {"a": 3.0, "b": 4.0})
+        assert recorder.trace.updates("a") == [(0.02, 1.0), (0.04, 3.0)]
+        assert recorder.trace.updates("b") == [(0.02, 2.0), (0.04, 4.0)]
+        assert recorder.frames_seen == 2
+
+    def test_filter_limits_recorded_signals(self):
+        recorder = TraceRecorder("run", signals=["a"])
+        recorder.on_frame(frame_at(0.02), "M", {"a": 1.0, "b": 2.0})
+        assert "a" in recorder.trace
+        assert "b" not in recorder.trace
+
+    def test_bool_values_recorded_as_floats(self):
+        recorder = TraceRecorder()
+        recorder.on_frame(frame_at(0.02), "M", {"flag": True})
+        assert recorder.trace.updates("flag") == [(0.02, 1.0)]
+
+    def test_restart_returns_previous_capture(self):
+        recorder = TraceRecorder("first")
+        recorder.on_frame(frame_at(0.02), "M", {"a": 1.0})
+        captured = recorder.restart("second")
+        assert captured.update_count() == 1
+        assert recorder.trace.is_empty()
+        assert recorder.trace.name == "second"
+        assert recorder.frames_seen == 0

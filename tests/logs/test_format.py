@@ -1,0 +1,97 @@
+"""On-disk trace format round trips."""
+
+import io
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import uniform_trace
+from repro.errors import TraceError
+from repro.logs.format import (
+    read_trace,
+    trace_from_string,
+    trace_to_string,
+    write_trace,
+)
+from repro.logs.trace import Trace
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        trace = uniform_trace({"Velocity": [1.5, 2.5], "Flag": [0, 1]}, name="run")
+        path = tmp_path / "trace.csv"
+        write_trace(trace, path)
+        back = read_trace(path)
+        assert back.name == "run"
+        assert list(back.events()) == list(trace.events())
+
+    def test_file_object_round_trip(self):
+        trace = uniform_trace({"a": [1.0]})
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        assert list(read_trace(buffer).events()) == list(trace.events())
+
+    def test_exceptional_values_round_trip(self):
+        trace = Trace("exceptional")
+        trace.record("x", 0.0, float("nan"))
+        trace.record("x", 0.1, float("inf"))
+        trace.record("x", 0.2, float("-inf"))
+        back = trace_from_string(trace_to_string(trace))
+        values = [v for _, v in back.updates("x")]
+        assert math.isnan(values[0])
+        assert values[1] == float("inf")
+        assert values[2] == float("-inf")
+
+    def test_unnamed_trace_round_trips(self):
+        trace = Trace()
+        trace.record("a", 0.0, 1.0)
+        back = trace_from_string(trace_to_string(trace))
+        assert back.name == ""
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, width=32), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=40)
+    def test_arbitrary_floats_round_trip(self, values):
+        trace = uniform_trace({"sig": values})
+        back = trace_from_string(trace_to_string(trace))
+        original = [v for _, v in trace.updates("sig")]
+        restored = [v for _, v in back.updates("sig")]
+        assert restored == original
+
+
+class TestErrors:
+    def test_bad_header_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_string("not a trace\ntime,signal,value\n")
+
+    def test_bad_columns_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_string("# repro-trace v1\nwrong,columns\n")
+
+    def test_malformed_line_rejected(self):
+        text = "# repro-trace v1\ntime,signal,value\n1.0,a\n"
+        with pytest.raises(TraceError) as excinfo:
+            trace_from_string(text)
+        assert "line 3" in str(excinfo.value)
+
+    def test_non_numeric_value_rejected(self):
+        text = "# repro-trace v1\ntime,signal,value\n1.0,a,fast\n"
+        with pytest.raises(TraceError):
+            trace_from_string(text)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = (
+            "# repro-trace v1 name=x\n"
+            "time,signal,value\n"
+            "\n"
+            "# a comment\n"
+            "1.0,a,2.0\n"
+        )
+        trace = trace_from_string(text)
+        assert trace.updates("a") == [(1.0, 2.0)]

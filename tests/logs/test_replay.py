@@ -1,0 +1,66 @@
+"""Replay and windowing utilities."""
+
+import pytest
+
+from helpers import uniform_trace
+from repro.errors import TraceError
+from repro.logs.replay import collect, rebuild, replay, windows
+from repro.logs.trace import Trace
+
+
+class TestReplay:
+    def test_events_delivered_in_time_order(self):
+        trace = uniform_trace({"a": [1, 2], "b": [3, 4]})
+        seen = []
+        replay(trace, lambda t, s, v: seen.append((t, s, v)))
+        assert seen == list(trace.events())
+
+    def test_fan_out_to_multiple_sinks(self):
+        trace = uniform_trace({"a": [1, 2, 3]})
+        first, second = [], []
+        count = replay(trace, lambda *e: first.append(e), lambda *e: second.append(e))
+        assert count == 3
+        assert first == second
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(TraceError):
+            replay(uniform_trace({"a": [1]}))
+
+
+class TestWindows:
+    def test_windows_cover_the_trace(self):
+        trace = uniform_trace({"a": range(100)}, period=0.1)  # 9.9 s
+        pieces = list(windows(trace, window=2.0))
+        total = sum(piece.update_count() for piece in pieces)
+        assert total >= trace.update_count()  # boundary rows may repeat
+
+    def test_overlap_duplicates_edge_updates(self):
+        trace = uniform_trace({"a": range(50)}, period=0.1)
+        plain = sum(p.update_count() for p in windows(trace, 1.0))
+        overlapped = sum(p.update_count() for p in windows(trace, 1.0, overlap=0.5))
+        assert overlapped > plain
+
+    def test_invalid_parameters_rejected(self):
+        trace = uniform_trace({"a": [1]})
+        with pytest.raises(TraceError):
+            list(windows(trace, 0.0))
+        with pytest.raises(TraceError):
+            list(windows(trace, 1.0, overlap=1.0))
+
+    def test_window_names_are_indexed(self):
+        trace = uniform_trace({"a": range(30)}, period=0.1, name="drive")
+        names = [piece.name for piece in windows(trace, 1.0)]
+        assert names[0] == "drive[w0]"
+
+
+class TestCollectRebuild:
+    def test_rebuild_inverts_collect(self):
+        trace = uniform_trace({"a": [1, 2], "b": [3, 4]}, name="x")
+        rebuilt = rebuild(collect(trace), name="x")
+        assert list(rebuilt.events()) == list(trace.events())
+        assert rebuilt.name == "x"
+
+    def test_rebuild_sorts_unordered_events(self):
+        events = [(1.0, "a", 2.0), (0.0, "a", 1.0)]
+        trace = rebuild(events)
+        assert trace.updates("a") == [(0.0, 1.0), (1.0, 2.0)]

@@ -1,0 +1,55 @@
+"""Synthetic real-vehicle logs (§IV-A substitution)."""
+
+import pytest
+
+from repro.logs.vehicle_logs import (
+    as_vehicle_scenario,
+    generate_vehicle_log,
+    representative_scenarios,
+)
+from repro.vehicle.scenario import steady_follow
+
+
+class TestScenarioConversion:
+    def test_vehicle_scenario_gains_noise(self):
+        hil = steady_follow()
+        vehicle = as_vehicle_scenario(hil)
+        assert hil.velocity_noise_std == 0.0
+        assert vehicle.velocity_noise_std > 0.0
+        assert vehicle.range_noise_std > 0.0
+        assert vehicle.rel_vel_noise_std > 0.0
+
+    def test_conversion_preserves_everything_else(self):
+        hil = steady_follow()
+        vehicle = as_vehicle_scenario(hil)
+        assert vehicle.name == hil.name
+        assert vehicle.duration == hil.duration
+        assert vehicle.lead_script == hil.lead_script
+
+    def test_representative_drive_covers_paper_scenarios(self):
+        names = {scenario.name for scenario in representative_scenarios()}
+        assert {"hills_cruise", "cut_in", "overtake", "stop_and_go"} <= names
+
+
+class TestGeneration:
+    def test_log_is_noisy(self):
+        scenario = as_vehicle_scenario(steady_follow(10.0))
+        trace = generate_vehicle_log(scenario, seed=1)
+        velocities = [v for _, v in trace.updates("Velocity")[-50:]]
+        assert len(set(velocities)) > 10  # noise makes samples distinct
+
+    def test_log_name_marks_vehicle_origin(self):
+        scenario = as_vehicle_scenario(steady_follow(5.0))
+        trace = generate_vehicle_log(scenario, seed=1)
+        assert trace.name.startswith("vehicle:")
+
+    def test_duration_override(self):
+        scenario = as_vehicle_scenario(steady_follow(120.0))
+        trace = generate_vehicle_log(scenario, seed=1, duration=8.0)
+        assert trace.duration == pytest.approx(8.0, abs=0.5)
+
+    def test_seeded_generation_is_deterministic(self):
+        scenario = as_vehicle_scenario(steady_follow(5.0))
+        a = generate_vehicle_log(scenario, seed=9)
+        b = generate_vehicle_log(scenario, seed=9)
+        assert list(a.events()) == list(b.events())

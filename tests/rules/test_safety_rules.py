@@ -1,0 +1,431 @@
+"""The seven paper rules, each exercised on hand-built traces.
+
+For every rule there is at least one trace that satisfies it and one that
+violates it, constructed from the rule's informal statement in §III-C —
+these tests pin the formalization to the paper's English.
+"""
+
+import pytest
+
+from helpers import rule_trace
+from repro.core.monitor import Monitor
+from repro.rules.safety_rules import (
+    RULE_IDS,
+    consistency_rule,
+    mode_machine,
+    paper_rules,
+    rule0,
+    rule1,
+    rule2,
+    rule3,
+    rule4,
+    rule5,
+    rule5_modal,
+    rule6,
+    rules_by_id,
+)
+
+#: Rows in the standard test trace (3 s at 20 ms) — comfortably longer
+#: than the initial settle window.
+N = 150
+#: First row after the 0.5 s initial settle window.
+AFTER_SETTLE = 60
+
+
+def check(rule, overrides, machines=()):
+    monitor = Monitor([rule], machines=machines)
+    report = monitor.check(rule_trace(N, overrides))
+    return report.result(rule.rule_id)
+
+
+def steps(base, changes):
+    """A constant column with specific rows overridden: {row: value}."""
+    column = [base] * N
+    for row, value in changes.items():
+        column[row] = value
+    return column
+
+
+class TestRuleSet:
+    def test_seven_rules_in_paper_order(self):
+        ids = [rule.rule_id for rule in paper_rules()]
+        assert ids == list(RULE_IDS)
+
+    def test_rules_by_id(self):
+        assert set(rules_by_id()) == set(RULE_IDS)
+
+    def test_relaxed_set_has_filters_or_margins(self):
+        strict = rules_by_id()
+        relaxed = rules_by_id(relaxed=True)
+        assert relaxed["rule5"].filters
+        assert relaxed["rule2"].filters
+        assert str(relaxed["rule3"].formula) != str(strict["rule3"].formula)
+
+    def test_every_rule_has_description(self):
+        for rule in paper_rules():
+            assert rule.description
+
+
+class TestRule0:
+    def test_satisfied_when_service_implies_disabled(self):
+        result = check(
+            rule0(),
+            {
+                "ServiceACC": steps(0.0, {80: 1.0, 81: 1.0}),
+                "ACCEnabled": steps(1.0, {80: 0.0, 81: 0.0}),
+            },
+        )
+        assert not result.violated
+
+    def test_violated_when_enabled_during_service(self):
+        result = check(rule0(), {"ServiceACC": steps(0.0, {100: 1.0})})
+        assert result.violated
+
+    def test_applies_even_when_disengaged(self):
+        # Rule #0 has no gate: a ServiceACC+ACCEnabled inconsistency is
+        # checked everywhere.
+        result = check(
+            rule0(),
+            {
+                "ACCEnabled": steps(1.0, {}),
+                "ServiceACC": steps(1.0, {}),
+            },
+        )
+        assert result.violated
+
+
+class TestRule1:
+    def test_satisfied_when_headway_recovers(self):
+        # Headway dips to 0.8 s for one second, then recovers.
+        ranges = steps(50.0, {row: 20.0 for row in range(80, 130)})
+        result = check(rule1(), {"TargetRange": ranges})
+        assert not result.violated
+
+    def test_violated_when_headway_stays_low(self):
+        # 25 m at 25 m/s = 1.0 s headway; 12 m is 0.48 s, held for the
+        # whole trace.  The trace must exceed the 5 s recovery window so
+        # that early rows have complete (and hence FALSE) windows.
+        long_n = 400  # 8 s at 20 ms
+        monitor = Monitor([rule1()])
+        trace = rule_trace(long_n, {"TargetRange": [12.0] * long_n})
+        result = monitor.check(trace).result("rule1")
+        assert result.violated
+
+    def test_not_checked_without_target(self):
+        result = check(
+            rule1(),
+            {
+                "TargetRange": steps(0.0, {}),
+                "VehicleAhead": steps(0.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_not_checked_when_disengaged(self):
+        result = check(
+            rule1(),
+            {
+                "TargetRange": steps(12.0, {}),
+                "ACCEnabled": steps(0.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_negative_range_not_checked(self):
+        # The gate requires TargetRange > 0 (a negative range is not a
+        # physical headway).
+        result = check(rule1(), {"TargetRange": steps(-500.0, {})})
+        assert not result.violated
+
+
+class TestRule2:
+    def test_violated_by_torque_rise_when_close(self):
+        # Desired headway distance: 1.8 s * 25 m/s = 45 m; half = 22.5 m.
+        result = check(
+            rule2(),
+            {
+                "TargetRange": steps(10.0, {}),
+                "RequestedTorque": [100.0 + row for row in range(N)],
+            },
+        )
+        assert result.violated
+
+    def test_satisfied_when_torque_falls_while_close(self):
+        result = check(
+            rule2(),
+            {
+                "TargetRange": steps(10.0, {}),
+                "RequestedTorque": [100.0 - row for row in range(N)],
+            },
+        )
+        assert not result.violated
+
+    def test_satisfied_when_far_despite_rising_torque(self):
+        result = check(
+            rule2(),
+            {
+                "TargetRange": steps(100.0, {}),
+                "RequestedTorque": [100.0 + row for row in range(N)],
+            },
+        )
+        assert not result.violated
+
+    def test_headway_selection_scales_threshold(self):
+        # 30 m is beyond half headway for SHORT (1.2 s: 15 m) but within
+        # it for LONG (2.4 s: 30 m).
+        rising = [100.0 + row for row in range(N)]
+        short = check(
+            rule2(),
+            {
+                "TargetRange": steps(16.0, {}),
+                "SelHeadway": steps(1.0, {}),
+                "RequestedTorque": rising,
+            },
+        )
+        long = check(
+            rule2(),
+            {
+                "TargetRange": steps(16.0, {}),
+                "SelHeadway": steps(3.0, {}),
+                "RequestedTorque": rising,
+            },
+        )
+        assert not short.violated
+        assert long.violated
+
+    def test_relaxed_dismisses_negligible_rise(self):
+        # +0.5 Nm per row is far below the 60 Nm intent threshold.
+        creeping = [100.0 + 0.5 * row for row in range(N)]
+        strict = check(
+            rule2(), {"TargetRange": steps(10.0, {}), "RequestedTorque": creeping}
+        )
+        relaxed = check(
+            rule2(strict=False),
+            {"TargetRange": steps(10.0, {}), "RequestedTorque": creeping},
+        )
+        assert strict.violated
+        assert not relaxed.violated
+        assert relaxed.dismissed
+
+
+class TestRule3:
+    def test_violated_by_sign_flip_above_set_speed(self):
+        # Velocity 33 > set 30; torque flips negative -> positive.
+        result = check(
+            rule3(),
+            {
+                "Velocity": steps(33.0, {}),
+                "RequestedTorque": steps(-50.0, {100: -50.0, 101: 25.0}),
+            },
+        )
+        assert result.violated
+        assert result.violations[0].rows == 1  # the `next` check is 1 row
+
+    def test_satisfied_when_torque_stays_negative(self):
+        result = check(
+            rule3(),
+            {
+                "Velocity": steps(33.0, {}),
+                "RequestedTorque": steps(-50.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_not_checked_below_set_speed(self):
+        result = check(
+            rule3(),
+            {
+                "Velocity": steps(25.0, {}),
+                "RequestedTorque": steps(-50.0, {100: 25.0}),
+            },
+        )
+        assert not result.violated
+
+    def test_relaxed_needs_margin_above_set_speed(self):
+        # 30.2 m/s is above set (30) but inside the relaxed 0.5 margin.
+        overrides = {
+            "Velocity": steps(30.2, {}),
+            "ACCSetSpeed": steps(30.0, {}),
+            "RequestedTorque": steps(-50.0, {100: 300.0}),
+        }
+        assert check(rule3(), overrides).violated
+        assert not check(rule3(strict=False), overrides).violated
+
+
+class TestRule4:
+    def test_violated_by_sustained_rise_above_set_speed(self):
+        result = check(
+            rule4(),
+            {
+                "Velocity": steps(33.0, {}),
+                "RequestedTorque": [100.0 + 10.0 * row for row in range(N)],
+            },
+        )
+        assert result.violated
+
+    def test_satisfied_when_rise_pauses_within_400ms(self):
+        # Torque rises but holds still every 5th row (within each 400 ms
+        # window there is a non-rising sample).
+        torque = []
+        value = 100.0
+        for row in range(N):
+            if row % 5 != 0:
+                value += 10.0
+            torque.append(value)
+        result = check(
+            rule4(),
+            {"Velocity": steps(33.0, {}), "RequestedTorque": torque},
+        )
+        assert not result.violated
+
+    def test_not_checked_at_or_below_set_speed(self):
+        result = check(
+            rule4(),
+            {
+                "Velocity": steps(30.0, {}),
+                "RequestedTorque": [100.0 + 10.0 * row for row in range(N)],
+            },
+        )
+        assert not result.violated
+
+
+class TestRule5:
+    def test_violated_by_positive_decel_request(self):
+        result = check(
+            rule5(),
+            {
+                "BrakeRequested": steps(0.0, {100: 1.0}),
+                "RequestedDecel": steps(0.0, {100: 2.0}),
+            },
+        )
+        assert result.violated
+
+    def test_satisfied_by_negative_decel(self):
+        result = check(
+            rule5(),
+            {
+                "BrakeRequested": steps(1.0, {}),
+                "RequestedDecel": steps(-2.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_zero_decel_is_acceptable(self):
+        result = check(
+            rule5(),
+            {
+                "BrakeRequested": steps(1.0, {}),
+                "RequestedDecel": steps(0.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_relaxed_tolerates_one_cycle(self):
+        overrides = {
+            "BrakeRequested": steps(0.0, {100: 1.0}),
+            "RequestedDecel": steps(0.0, {100: 2.0}),
+        }
+        strict = check(rule5(), overrides)
+        relaxed = check(rule5(strict=False), overrides)
+        assert strict.violated
+        assert not relaxed.violated
+        assert relaxed.dismissed  # the transient stays visible as a clue
+
+    def test_relaxed_still_catches_sustained_violation(self):
+        rows = {row: 1.0 for row in range(100, 110)}
+        overrides = {
+            "BrakeRequested": steps(0.0, rows),
+            "RequestedDecel": steps(0.0, {row: 2.0 for row in rows}),
+        }
+        assert check(rule5(strict=False), overrides).violated
+
+
+class TestRule6:
+    def test_violated_by_thrust_at_near_collision(self):
+        result = check(
+            rule6(),
+            {
+                "TargetRange": steps(0.5, {}),
+                "TorqueRequested": steps(1.0, {}),
+                "RequestedTorque": steps(100.0, {}),
+            },
+        )
+        assert result.violated
+
+    def test_satisfied_when_torque_flag_off(self):
+        result = check(
+            rule6(),
+            {
+                "TargetRange": steps(0.5, {}),
+                "TorqueRequested": steps(0.0, {}),
+                "RequestedTorque": steps(100.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_satisfied_when_requested_torque_negative(self):
+        result = check(
+            rule6(),
+            {
+                "TargetRange": steps(0.5, {}),
+                "TorqueRequested": steps(1.0, {}),
+                "RequestedTorque": steps(-100.0, {}),
+            },
+        )
+        assert not result.violated
+
+    def test_not_checked_without_vehicle_ahead(self):
+        result = check(
+            rule6(),
+            {
+                "VehicleAhead": steps(0.0, {}),
+                "TargetRange": steps(0.5, {}),
+                "TorqueRequested": steps(1.0, {}),
+            },
+        )
+        assert not result.violated
+
+
+class TestConsistencyRule:
+    def test_warmup_suppresses_acquisition_false_alarm(self):
+        # Target acquired at row 80: range jumps 0 -> 60 while relvel is
+        # already negative (closing) — an apparent inconsistency.
+        acquired_rows = range(80, N)
+        overrides = {
+            "VehicleAhead": steps(0.0, {row: 1.0 for row in acquired_rows}),
+            "TargetRange": steps(
+                0.0, {row: 60.0 - 0.05 * (row - 80) for row in acquired_rows}
+            ),
+            "TargetRelVel": steps(
+                0.0, {row: -2.5 for row in acquired_rows}
+            ),
+        }
+        with_warmup = check(consistency_rule(with_warmup=True), overrides)
+        without = check(consistency_rule(with_warmup=False), overrides)
+        assert without.violated  # the §V-C2 false alarm
+        assert not with_warmup.violated
+
+
+class TestModalRule:
+    def test_rule5_modal_matches_gated_rule5(self):
+        overrides = {
+            "BrakeRequested": steps(0.0, {100: 1.0}),
+            "RequestedDecel": steps(0.0, {100: 2.0}),
+        }
+        gated = check(rule5(), overrides)
+        modal = check(rule5_modal(), overrides, machines=[mode_machine()])
+        assert gated.violated == modal.violated
+
+    def test_mode_machine_tracks_fault(self):
+        from repro.core.evaluator import EvalContext
+
+        machine = mode_machine()
+        trace = rule_trace(
+            10,
+            {
+                "ACCEnabled": [0, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+                "ServiceACC": [0, 0, 1, 1, 0, 0, 0, 0, 0, 0],
+            },
+        )
+        states = machine.run(EvalContext(trace.to_view(0.02)))
+        assert list(states[:5]) == ["idle", "engaged", "fault", "fault", "idle"]

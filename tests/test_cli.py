@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRulesCommand:
+    def test_lists_all_rules(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("rule0", "rule3", "rule6"):
+            assert rule_id in out
+
+    def test_relaxed_flag_shows_filters(self, capsys):
+        assert main(["--", "rules"][1:] + ["--relaxed"]) == 0
+        out = capsys.readouterr().out
+        assert "filter:" in out
+
+
+class TestSimulateAndCheck:
+    def test_simulate_writes_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.csv"
+        code = main(
+            ["simulate", "steady_follow", "--duration", "12", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "simulated" in capsys.readouterr().out
+
+    def test_check_passes_on_nominal_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.csv"
+        main(["simulate", "steady_follow", "--duration", "12", "--out", str(out_file)])
+        capsys.readouterr()
+        code = main(["check", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "warp_drive"])
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-oracle" in capsys.readouterr().out
+
+
+class TestOnlineCommand:
+    def test_online_streams_and_reports(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.csv"
+        main(["simulate", "steady_follow", "--duration", "12", "--out", str(out_file)])
+        capsys.readouterr()
+        code = main(["online", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streaming" in out
+        assert "rule0" in out
+
+
+class TestRulesExport:
+    def test_export_and_recheck(self, tmp_path, capsys):
+        rules_file = tmp_path / "paper.rules"
+        assert main(["rules", "--export", str(rules_file)]) == 0
+        assert rules_file.exists()
+        trace_file = tmp_path / "t.csv"
+        main(["simulate", "steady_follow", "--duration", "10", "--out", str(trace_file)])
+        capsys.readouterr()
+        assert main(["check", str(trace_file), "--rules", str(rules_file)]) == 0
+
+
+class TestDriveCommand:
+    def test_drive_reports_all_scenarios(self, tmp_path, capsys):
+        code = main(["drive", "--seed", "5", "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0  # triage leaves the drive clean
+        assert "vehicle:hills_cruise" in out
+        assert (tmp_path / "vehicle_free_cruise.csv").exists()

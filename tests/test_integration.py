@@ -1,0 +1,107 @@
+"""End-to-end integration: testbench → injection → monitor → oracle.
+
+These tests walk the paper's whole pipeline on small workloads:
+a nominal run passes the oracle, injected faults produce detected
+violations, and the log-file path (write, read, re-check) preserves
+verdicts — the offline-analysis property the paper's methodology
+depends on.
+"""
+
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.core.oracle import OracleVerdict, TestOracle
+from repro.hil.simulator import HilSimulator
+from repro.logs.format import read_trace, write_trace
+from repro.rules.safety_rules import paper_rules
+from repro.testing.campaign import InjectionTest, RobustnessCampaign
+from repro.vehicle.scenario import steady_follow
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return TestOracle(Monitor(paper_rules()))
+
+
+class TestNominalPipeline:
+    def test_nominal_run_is_not_failed(self, oracle, nominal_trace):
+        outcome = oracle.judge(nominal_trace)
+        assert not outcome.failed
+
+    def test_verdict_survives_log_round_trip(self, oracle, nominal_trace, tmp_path):
+        path = tmp_path / "nominal.csv"
+        write_trace(nominal_trace, path)
+        outcome = oracle.judge(read_trace(path))
+        assert not outcome.failed
+
+
+class TestFaultDetection:
+    def test_injected_rel_vel_fault_fails_the_oracle(self, oracle):
+        """The paper's flagship failure: a wrong-sign relative velocity
+        makes the feature accelerate into the target (§IV)."""
+        simulator = HilSimulator(steady_follow(1e9), seed=21)
+        simulator.run_for(15.0)
+        simulator.injection.inject_value("TargetRelVel", 60.0)
+        simulator.run_for(20.0)
+        result = simulator.result()
+        outcome = oracle.judge(result.trace)
+        assert outcome.failed
+        # The vehicle physically drove into (and through) the target.
+        assert result.min_gap <= 1.0
+
+    def test_rule5_transient_detected_on_abrupt_swing(self, oracle):
+        simulator = HilSimulator(steady_follow(1e9), seed=22)
+        simulator.run_for(15.0)
+        simulator.injection.inject_value("Velocity", 80.0)  # hard braking
+        simulator.run_for(5.0)
+        simulator.injection.inject_value("Velocity", 1.0)  # abrupt swing
+        simulator.run_for(5.0)
+        report = oracle.monitor.check(simulator.result().trace)
+        assert report.result("rule5").violated
+
+    def test_service_acc_consistency_under_nan(self, oracle):
+        """Sustained NaN trips the watchdog; ServiceACC asserts but
+        Rule #0 must stay satisfied throughout."""
+        simulator = HilSimulator(steady_follow(1e9), seed=23)
+        simulator.run_for(15.0)
+        simulator.injection.inject_value("ACCSetSpeed", float("nan"))
+        simulator.injection.inject_value("Velocity", float("nan"))
+        simulator.run_for(5.0)
+        trace = simulator.result().trace
+        assert trace.value_at("ServiceACC", simulator.time - 0.05) == 1.0
+        report = oracle.monitor.check(trace)
+        assert not report.result("rule0").violated
+
+
+class TestCampaignIntegration:
+    def test_quiet_signal_row_is_clean_end_to_end(self):
+        campaign = RobustnessCampaign(
+            seed=5, hold_time=3.0, gap_time=0.5, settle_time=10.0
+        )
+        outcome = campaign.run_test(
+            InjectionTest("Random ThrotPos", "Random", ("ThrotPos",))
+        )
+        assert all(letter == "S" for letter in outcome.letters.values())
+
+    def test_critical_signal_row_shows_violations(self):
+        campaign = RobustnessCampaign(
+            seed=5, hold_time=6.0, gap_time=0.5, settle_time=10.0
+        )
+        outcome = campaign.run_test(
+            InjectionTest("Random TargetRelVel", "Random", ("TargetRelVel",))
+        )
+        assert "V" in outcome.letters.values()
+        assert outcome.letters["rule0"] == "S"
+
+
+class TestOfflineReanalysis:
+    def test_same_trace_multiple_monitor_configurations(self, nominal_trace):
+        """The paper's offline advantage: one captured trace, many
+        monitor configurations."""
+        strict = Monitor(paper_rules()).check(nominal_trace)
+        relaxed = Monitor(paper_rules(relaxed=True)).check(nominal_trace)
+        assert set(strict.letters()) == set(relaxed.letters())
+        # Relaxed rules can only dismiss, never add, violations.
+        for rule_id in strict.letters():
+            if strict.letters()[rule_id] == "S":
+                assert relaxed.letters()[rule_id] == "S"

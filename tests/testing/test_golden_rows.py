@@ -1,0 +1,31 @@
+"""Golden regression rows for the Table I campaign.
+
+Two full-fidelity campaign rows (paper timing, campaign seed 2014) are
+pinned to their current letters.  If controller tuning, network layout,
+monitor semantics, or rule formalization drifts, these letters change —
+and the full Table I shape needs re-validation (run
+``pytest benchmarks/test_bench_table1.py``) before updating the pins.
+"""
+
+import pytest
+
+from repro.rules.safety_rules import RULE_IDS
+from repro.testing.campaign import InjectionTest, RobustnessCampaign
+
+#: (label, kind, targets, expected letters) at campaign seed 2014.
+GOLDEN = [
+    ("Random Velocity", "Random", ("Velocity",), "SVVSVVS"),
+    ("Random ThrotPos", "Random", ("ThrotPos",), "SSSSSSS"),
+]
+
+
+@pytest.mark.parametrize("label,kind,targets,expected", GOLDEN)
+def test_golden_row(label, kind, targets, expected):
+    campaign = RobustnessCampaign(seed=2014)
+    outcome = campaign.run_test(InjectionTest(label, kind, targets))
+    letters = "".join(outcome.letters[rule_id] for rule_id in RULE_IDS)
+    assert letters == expected, (
+        "campaign row %r drifted from its pinned letters %s -> %s; "
+        "re-validate the full Table I shape before re-pinning"
+        % (label, expected, letters)
+    )

@@ -1,0 +1,136 @@
+"""Table I result handling and paper-shape comparison."""
+
+import pytest
+
+from repro.rules.safety_rules import RULE_IDS
+from repro.testing.results import (
+    CRITICAL_SIGNALS,
+    PAPER_TABLE1,
+    QUIET_SIGNALS,
+    SINGLE_TARGETS,
+    Table1,
+    TableRow,
+)
+
+
+def row(label, letters, kind="Random", targets=("Velocity",)):
+    return TableRow(
+        label=label,
+        kind=kind,
+        targets=targets,
+        letters=dict(zip(RULE_IDS, letters)),
+    )
+
+
+class TestPaperTranscription:
+    def test_32_rows(self):
+        assert len(PAPER_TABLE1) == 32
+
+    def test_every_row_has_seven_letters(self):
+        for label, letters in PAPER_TABLE1.items():
+            assert len(letters) == 7, label
+            assert set(letters) <= {"S", "V"}, label
+
+    def test_rule0_column_all_satisfied(self):
+        assert all(letters[0] == "S" for letters in PAPER_TABLE1.values())
+
+    def test_quiet_signal_rows_all_satisfied(self):
+        for kind in ("Random", "Ballista", "Bitflips"):
+            for signal in QUIET_SIGNALS:
+                assert PAPER_TABLE1["%s %s" % (kind, signal)] == "S" * 7
+
+    def test_six_of_seven_rules_detected(self):
+        detected = set()
+        for letters in PAPER_TABLE1.values():
+            for index, letter in enumerate(letters):
+                if letter == "V":
+                    detected.add(RULE_IDS[index])
+        assert detected == set(RULE_IDS) - {"rule0"}
+
+    def test_targets_partition(self):
+        assert set(CRITICAL_SIGNALS) | set(QUIET_SIGNALS) == set(SINGLE_TARGETS)
+        assert not set(CRITICAL_SIGNALS) & set(QUIET_SIGNALS)
+
+
+class TestTableRow:
+    def test_letter_string_in_rule_order(self):
+        r = row("Random Velocity", "SVSVSSV")
+        assert r.letter_string() == "SVSVSSV"
+
+    def test_any_violation(self):
+        assert row("x", "SSSSSSV").any_violation
+        assert not row("x", "SSSSSSS").any_violation
+
+
+class TestTable1:
+    def test_format_contains_rows_and_header(self):
+        table = Table1(rows=[row("Random Velocity", "SVSVSSV")])
+        text = table.format()
+        assert "Injection Target Signal" in text
+        assert "Random Velocity" in text
+        assert "S V S V S S V" in text
+
+    def test_row_lookup(self):
+        table = Table1(rows=[row("Random Velocity", "SVSVSSV")])
+        assert table.row("Random Velocity").letter_string() == "SVSVSSV"
+        with pytest.raises(KeyError):
+            table.row("missing")
+
+    def test_cell_agreement_perfect_against_itself(self):
+        rows = [
+            row(label, letters)
+            for label, letters in PAPER_TABLE1.items()
+        ]
+        table = Table1(rows=rows)
+        assert table.cell_agreement() == 1.0
+
+    def test_cell_agreement_counts_mismatches(self):
+        table = Table1(rows=[row("Random Velocity", "S" * 7)])
+        # Paper row is SVSVSSV: 4 of 7 letters match all-S.
+        assert table.cell_agreement() == pytest.approx(4 / 7)
+
+    def test_cell_agreement_ignores_unknown_labels(self):
+        table = Table1(rows=[row("Nonexistent Row", "S" * 7)])
+        assert table.cell_agreement() == 0.0
+
+    def test_rules_violated_anywhere(self):
+        table = Table1(
+            rows=[row("a", "SVSSSSS"), row("b", "SSSSSSV")]
+        )
+        assert table.rules_violated_anywhere() == ("rule1", "rule6")
+
+
+class TestShapeChecks:
+    def _paper_shaped_table(self):
+        rows = []
+        for label, letters in PAPER_TABLE1.items():
+            kind, _, signal = label.partition(" ")
+            targets = (signal,) if signal in SINGLE_TARGETS else ("TargetRange", "TargetRelVel")
+            rows.append(row(label, letters, kind=kind, targets=targets))
+        return Table1(rows=rows)
+
+    def test_paper_table_passes_all_shape_checks(self):
+        checks = self._paper_shaped_table().shape_checks()
+        assert all(checks.values()), checks
+
+    def test_rule0_check_fails_on_violation(self):
+        table = self._paper_shaped_table()
+        table.rows[0].letters["rule0"] = "V"
+        assert not table.shape_checks()["rule0_never_violated"]
+
+    def test_quiet_check_fails_on_pedal_violation(self):
+        table = self._paper_shaped_table()
+        table.row("Random ThrotPos").letters["rule3"] = "V"
+        assert not table.shape_checks()["quiet_signals_clean"]
+
+    def test_critical_check_fails_if_signal_all_clean(self):
+        table = self._paper_shaped_table()
+        for kind in ("Random", "Ballista", "Bitflips"):
+            for rule_id in RULE_IDS:
+                table.row("%s Velocity" % kind).letters[rule_id] = "S"
+        assert not table.shape_checks()["critical_signals_violated"]
+
+    def test_shape_summary_renders(self):
+        text = self._paper_shaped_table().shape_summary()
+        assert "PASS" in text
+        assert "cell agreement" in text

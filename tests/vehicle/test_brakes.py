@@ -1,0 +1,82 @@
+"""Brake system: demand arbitration, sign convention, saturation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.brakes import BrakeSystem
+
+
+def settle(brakes, requested_decel, brake_requested, pedal, cycles=300):
+    for _ in range(cycles):
+        brakes.step(0.01, requested_decel, brake_requested, pedal)
+    return brakes.decel
+
+
+class TestAccDemand:
+    def test_negative_request_decelerates(self):
+        brakes = BrakeSystem()
+        assert settle(brakes, -2.0, True, 0.0) == pytest.approx(2.0, rel=0.02)
+
+    def test_request_ignored_without_flag(self):
+        brakes = BrakeSystem()
+        assert settle(brakes, -2.0, False, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_positive_request_ignored(self):
+        # A positive "deceleration" (the Rule #5 violation value) must not
+        # actuate the brakes.
+        brakes = BrakeSystem()
+        assert settle(brakes, +2.0, True, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_nan_request_ignored(self):
+        brakes = BrakeSystem()
+        assert settle(brakes, float("nan"), True, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_saturation_at_friction_limit(self):
+        brakes = BrakeSystem(max_decel=9.5)
+        assert settle(brakes, -100.0, True, 0.0) == pytest.approx(9.5, rel=0.02)
+
+
+class TestDriverDemand:
+    def test_pedal_pressure_maps_to_decel(self):
+        brakes = BrakeSystem(pedal_gain=0.06)
+        assert settle(brakes, 0.0, False, 50.0) == pytest.approx(3.0, rel=0.02)
+
+    def test_negative_pedal_ignored(self):
+        brakes = BrakeSystem()
+        assert settle(brakes, 0.0, False, -100.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_nan_pedal_ignored(self):
+        brakes = BrakeSystem()
+        assert settle(brakes, 0.0, False, float("nan")) == pytest.approx(0.0, abs=1e-6)
+
+    def test_stronger_demand_wins(self):
+        brakes = BrakeSystem(pedal_gain=0.06)
+        # ACC wants 1 m/s², driver pedal wants 3 m/s² — driver wins.
+        assert settle(brakes, -1.0, True, 50.0) == pytest.approx(3.0, rel=0.02)
+        brakes.reset()
+        # ACC wants 5 m/s², driver wants 3 — ACC wins.
+        assert settle(brakes, -5.0, True, 50.0) == pytest.approx(5.0, rel=0.02)
+
+
+class TestDynamics:
+    def test_reset_releases(self):
+        brakes = BrakeSystem()
+        settle(brakes, -3.0, True, 0.0)
+        brakes.reset()
+        assert brakes.decel == 0.0
+
+    def test_release_is_gradual(self):
+        brakes = BrakeSystem(time_constant=0.2)
+        settle(brakes, -3.0, True, 0.0)
+        brakes.step(0.01, 0.0, False, 0.0)
+        assert brakes.decel > 2.0  # still mostly applied one step later
+
+
+class TestValidation:
+    def test_non_positive_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            BrakeSystem(max_decel=0.0)
+        with pytest.raises(SimulationError):
+            BrakeSystem(time_constant=-1.0)
+        with pytest.raises(SimulationError):
+            BrakeSystem(pedal_gain=0.0)

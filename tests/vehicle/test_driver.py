@@ -1,0 +1,64 @@
+"""Scripted driver behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.driver import DriverAction, DriverScript, DriverState
+
+
+class TestScript:
+    def test_initial_state_before_any_action(self):
+        script = DriverScript(
+            [DriverAction(time=5.0, acc_on=True)],
+            initial=DriverState(set_speed=20.0),
+        )
+        state = script.step(1.0)
+        assert not state.acc_on
+        assert state.set_speed == 20.0
+
+    def test_action_applies_at_its_time(self):
+        script = DriverScript([DriverAction(time=2.0, acc_on=True, set_speed=30.0)])
+        assert not script.step(1.99).acc_on
+        state = script.step(2.0)
+        assert state.acc_on
+        assert state.set_speed == 30.0
+
+    def test_none_fields_keep_previous_values(self):
+        script = DriverScript(
+            [
+                DriverAction(time=1.0, set_speed=30.0, headway=3),
+                DriverAction(time=2.0, brake_pressure=50.0),
+            ]
+        )
+        state = script.step(3.0)
+        assert state.set_speed == 30.0
+        assert state.headway == 3
+        assert state.brake_pressure == 50.0
+
+    def test_multiple_due_actions_apply_in_order(self):
+        script = DriverScript(
+            [
+                DriverAction(time=1.0, set_speed=10.0),
+                DriverAction(time=2.0, set_speed=20.0),
+            ]
+        )
+        # Jumping straight past both actions lands on the latest one.
+        assert script.step(5.0).set_speed == 20.0
+
+    def test_unordered_actions_rejected(self):
+        with pytest.raises(SimulationError):
+            DriverScript(
+                [DriverAction(time=2.0), DriverAction(time=1.0)]
+            )
+
+    def test_reset_rewinds(self):
+        script = DriverScript([DriverAction(time=1.0, acc_on=True)])
+        assert script.step(2.0).acc_on
+        script.reset()
+        assert not script.step(0.5).acc_on
+
+    def test_state_is_immutable_snapshot(self):
+        script = DriverScript([DriverAction(time=1.0, acc_on=True)])
+        before = script.step(0.5)
+        script.step(2.0)
+        assert not before.acc_on  # old snapshot unaffected

@@ -1,0 +1,112 @@
+"""Longitudinal vehicle dynamics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.dynamics import GRAVITY, LongitudinalCar
+from repro.vehicle.road import GradeSegment, SegmentedRoad
+
+
+def run(car, seconds, torque=0.0, decel=0.0, brake=False, pedal=0.0):
+    steps = int(seconds / 0.01)
+    for _ in range(steps):
+        car.step(0.01, torque, decel, brake, pedal)
+
+
+class TestBasicMotion:
+    def test_coasting_decelerates_through_drag(self):
+        car = LongitudinalCar(initial_velocity=30.0)
+        run(car, 5.0)
+        assert car.velocity < 30.0
+
+    def test_cruise_torque_holds_speed(self):
+        car = LongitudinalCar(initial_velocity=25.0)
+        torque = car.cruise_torque(25.0)
+        run(car, 10.0, torque=torque)
+        assert car.velocity == pytest.approx(25.0, abs=0.3)
+
+    def test_position_integrates_velocity(self):
+        car = LongitudinalCar(initial_velocity=20.0)
+        torque = car.cruise_torque(20.0)
+        run(car, 5.0, torque=torque)
+        assert car.position == pytest.approx(100.0, rel=0.02)
+
+    def test_vehicle_does_not_roll_backwards(self):
+        car = LongitudinalCar(initial_velocity=1.0)
+        run(car, 10.0, decel=-5.0, brake=True)
+        assert car.velocity == 0.0
+
+    def test_acceleration_reported_in_state(self):
+        car = LongitudinalCar(initial_velocity=10.0)
+        state = car.step(0.01, 2000.0, 0.0, False)
+        assert state.acceleration > 0.0
+
+
+class TestGrade:
+    def test_uphill_needs_more_torque(self):
+        car = LongitudinalCar()
+        flat = car.cruise_torque(25.0, grade=0.0)
+        hill = car.cruise_torque(25.0, grade=0.05)
+        expected_extra = car.mass * GRAVITY * 0.05 * car.engine.wheel_radius
+        assert hill - flat == pytest.approx(expected_extra)
+
+    def test_uphill_slows_the_car(self):
+        road = SegmentedRoad([GradeSegment(0.0, 0.06)])
+        car = LongitudinalCar(road=road, initial_velocity=25.0)
+        torque = car.cruise_torque(25.0, grade=0.0)  # flat-road torque only
+        run(car, 5.0, torque=torque)
+        assert car.velocity < 24.5
+
+    def test_downhill_speeds_the_car(self):
+        road = SegmentedRoad([GradeSegment(0.0, -0.06)])
+        car = LongitudinalCar(road=road, initial_velocity=25.0)
+        torque = car.cruise_torque(25.0, grade=0.0)
+        run(car, 5.0, torque=torque)
+        assert car.velocity > 25.5
+
+
+class TestBraking:
+    def test_driver_pedal_slows_car(self):
+        car = LongitudinalCar(initial_velocity=30.0)
+        run(car, 3.0, pedal=80.0)
+        assert car.velocity < 18.0
+
+    def test_acc_decel_request_slows_car(self):
+        car = LongitudinalCar(initial_velocity=30.0)
+        run(car, 3.0, decel=-3.0, brake=True)
+        assert car.velocity == pytest.approx(30.0 - 3.0 * 3.0, abs=2.0)
+
+
+class TestStateAndReset:
+    def test_reset_restores_kinematics_and_actuators(self):
+        car = LongitudinalCar(initial_velocity=20.0)
+        run(car, 2.0, torque=2000.0)
+        car.reset(position=5.0, velocity=1.0)
+        assert car.position == 5.0
+        assert car.velocity == 1.0
+        assert car.engine.torque == 0.0
+        assert car.brakes.decel == 0.0
+
+    def test_state_snapshot_fields(self):
+        car = LongitudinalCar(initial_velocity=15.0)
+        state = car.state()
+        assert state.velocity == 15.0
+        assert state.grade == 0.0
+
+    def test_drag_force_zero_at_rest(self):
+        assert LongitudinalCar().drag_force(0.0) == 0.0
+
+    def test_drag_force_grows_with_speed(self):
+        car = LongitudinalCar()
+        assert car.drag_force(30.0) > car.drag_force(10.0) > 0.0
+
+
+class TestValidation:
+    def test_non_positive_mass_rejected(self):
+        with pytest.raises(SimulationError):
+            LongitudinalCar(mass=0.0)
+
+    def test_non_positive_dt_rejected(self):
+        car = LongitudinalCar()
+        with pytest.raises(SimulationError):
+            car.step(0.0, 0.0, 0.0, False)

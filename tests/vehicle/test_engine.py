@@ -1,0 +1,93 @@
+"""Powertrain model: torque tracking, saturation, non-finite handling."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.engine import Engine
+
+
+class TestTracking:
+    def test_torque_converges_to_request(self):
+        engine = Engine(time_constant=0.1)
+        for _ in range(200):
+            engine.step(0.01, 400.0)
+        assert engine.torque == pytest.approx(400.0, rel=0.01)
+
+    def test_first_order_lag_shape(self):
+        engine = Engine(time_constant=0.1)
+        engine.step(0.01, 100.0)
+        after_one = engine.torque
+        assert 0.0 < after_one < 100.0
+        # One time constant later the response reaches ~63%.
+        engine.reset()
+        elapsed = 0.0
+        while elapsed < 0.1:
+            engine.step(0.01, 100.0)
+            elapsed += 0.01
+        assert engine.torque == pytest.approx(63.0, abs=8.0)
+
+    def test_tractive_force_is_torque_over_radius(self):
+        engine = Engine(wheel_radius=0.32)
+        force = engine.step(0.01, 320.0)
+        assert force == pytest.approx(engine.torque / 0.32)
+
+    def test_saturation_at_max(self):
+        engine = Engine(max_torque=3000.0)
+        for _ in range(500):
+            engine.step(0.01, 1e9)
+        assert engine.torque == pytest.approx(3000.0, rel=0.01)
+
+    def test_saturation_at_engine_braking_floor(self):
+        engine = Engine(min_torque=-600.0)
+        for _ in range(500):
+            engine.step(0.01, -1e9)
+        assert engine.torque == pytest.approx(-600.0, rel=0.01)
+
+
+class TestNonFiniteRequests:
+    def test_nan_request_holds_torque(self):
+        engine = Engine()
+        for _ in range(100):
+            engine.step(0.01, 500.0)
+        held = engine.torque
+        engine.step(0.01, float("nan"))
+        assert engine.torque == held
+
+    def test_inf_request_holds_torque(self):
+        engine = Engine()
+        engine.step(0.01, 100.0)
+        held = engine.torque
+        engine.step(0.01, float("inf"))
+        assert engine.torque == held
+        assert math.isfinite(engine.torque)
+
+
+class TestThrottleFeedback:
+    def test_zero_at_or_below_zero_torque(self):
+        engine = Engine()
+        engine.reset(-100.0)
+        assert engine.throttle_position == 0.0
+
+    def test_proportional_to_positive_torque(self):
+        engine = Engine(max_torque=3000.0)
+        engine.reset(1500.0)
+        assert engine.throttle_position == pytest.approx(50.0)
+
+    def test_caps_at_100(self):
+        engine = Engine(max_torque=100.0)
+        engine.reset(100.0)
+        assert engine.throttle_position == 100.0
+
+
+class TestValidation:
+    def test_bad_limits_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(max_torque=-1.0)
+        with pytest.raises(SimulationError):
+            Engine(min_torque=10.0)
+
+    def test_bad_time_constant_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(time_constant=0.0)

@@ -1,0 +1,100 @@
+"""Scripted lead vehicle maneuvers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.lead import Appear, ChangeSpeed, Disappear, LeadVehicle
+
+
+def run(lead, start, end, ego_position=0.0, dt=0.01):
+    t = start
+    while t < end:
+        t += dt
+        lead.step(dt, t, ego_position)
+
+
+class TestPresence:
+    def test_absent_until_appear(self):
+        lead = LeadVehicle([Appear(time=5.0, range_m=50.0, speed=20.0)])
+        run(lead, 0.0, 4.9)
+        assert not lead.present
+        assert lead.range_from(0.0) is None
+
+    def test_appear_places_lead_ahead_of_ego(self):
+        lead = LeadVehicle([Appear(time=1.0, range_m=50.0, speed=20.0)])
+        lead.step(0.01, 1.0, ego_position=100.0)
+        assert lead.present
+        assert lead.range_from(100.0) == pytest.approx(50.0, abs=0.5)
+
+    def test_disappear_removes_lead(self):
+        lead = LeadVehicle(
+            [Appear(time=0.0, range_m=30.0, speed=10.0), Disappear(time=2.0)]
+        )
+        run(lead, 0.0, 3.0)
+        assert not lead.present
+
+
+class TestMotion:
+    def test_constant_speed_motion(self):
+        lead = LeadVehicle([Appear(time=0.0, range_m=0.0, speed=10.0)])
+        run(lead, 0.0, 5.0)
+        assert lead.position == pytest.approx(50.0, rel=0.02)
+
+    def test_change_speed_ramps_at_given_accel(self):
+        lead = LeadVehicle(
+            [
+                Appear(time=0.0, range_m=0.0, speed=10.0),
+                ChangeSpeed(time=1.0, speed=20.0, accel=2.0),
+            ]
+        )
+        run(lead, 0.0, 3.0)  # 2 s into a 5 s ramp
+        assert lead.velocity == pytest.approx(14.0, abs=0.3)
+        run(lead, 3.0, 8.0)
+        assert lead.velocity == pytest.approx(20.0)
+
+    def test_deceleration_to_stop(self):
+        lead = LeadVehicle(
+            [
+                Appear(time=0.0, range_m=0.0, speed=10.0),
+                ChangeSpeed(time=0.0, speed=0.0, accel=2.0),
+            ]
+        )
+        run(lead, 0.0, 10.0)
+        assert lead.velocity == 0.0
+
+    def test_speed_never_negative(self):
+        lead = LeadVehicle(
+            [
+                Appear(time=0.0, range_m=0.0, speed=1.0),
+                ChangeSpeed(time=0.0, speed=0.0, accel=100.0),
+            ]
+        )
+        run(lead, 0.0, 1.0)
+        assert lead.velocity >= 0.0
+
+
+class TestScriptMechanics:
+    def test_unordered_script_rejected(self):
+        with pytest.raises(SimulationError):
+            LeadVehicle([Disappear(time=5.0), Appear(time=1.0)])
+
+    def test_reset_rewinds_script(self):
+        lead = LeadVehicle([Appear(time=0.5, range_m=10.0, speed=5.0)])
+        run(lead, 0.0, 1.0)
+        assert lead.present
+        lead.reset()
+        assert not lead.present
+        run(lead, 0.0, 1.0)
+        assert lead.present
+
+    def test_reappear_after_disappear(self):
+        lead = LeadVehicle(
+            [
+                Appear(time=0.0, range_m=20.0, speed=5.0),
+                Disappear(time=1.0),
+                Appear(time=2.0, range_m=40.0, speed=8.0),
+            ]
+        )
+        run(lead, 0.0, 2.5, ego_position=0.0)
+        assert lead.present
+        assert lead.velocity == pytest.approx(8.0)

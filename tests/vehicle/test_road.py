@@ -1,0 +1,61 @@
+"""Road grade profiles."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.road import (
+    FlatRoad,
+    GradeSegment,
+    RollingHills,
+    SegmentedRoad,
+)
+
+
+class TestFlatRoad:
+    def test_always_zero(self):
+        road = FlatRoad()
+        for position in (0.0, -50.0, 1e6):
+            assert road.grade_at(position) == 0.0
+
+
+class TestSegmentedRoad:
+    def test_zero_before_first_segment(self):
+        road = SegmentedRoad([GradeSegment(100.0, 0.05)])
+        assert road.grade_at(50.0) == 0.0
+
+    def test_segment_grades_apply_from_start(self):
+        road = SegmentedRoad(
+            [GradeSegment(100.0, 0.05), GradeSegment(300.0, -0.02)]
+        )
+        assert road.grade_at(100.0) == 0.05
+        assert road.grade_at(299.9) == 0.05
+        assert road.grade_at(300.0) == -0.02
+        assert road.grade_at(1e9) == -0.02
+
+    def test_unsorted_segments_rejected(self):
+        with pytest.raises(SimulationError):
+            SegmentedRoad(
+                [GradeSegment(300.0, 0.01), GradeSegment(100.0, 0.02)]
+            )
+
+
+class TestRollingHills:
+    def test_amplitude_is_peak_grade(self):
+        road = RollingHills(amplitude=0.04, wavelength=800.0)
+        peak = max(abs(road.grade_at(x)) for x in range(0, 1600, 5))
+        assert peak == pytest.approx(0.04, rel=0.01)
+
+    def test_periodicity(self):
+        road = RollingHills(amplitude=0.05, wavelength=500.0)
+        assert road.grade_at(123.0) == pytest.approx(road.grade_at(623.0))
+
+    def test_phase_shifts_the_profile(self):
+        base = RollingHills(phase=0.0)
+        shifted = RollingHills(phase=math.pi)
+        assert base.grade_at(200.0) == pytest.approx(-shifted.grade_at(200.0))
+
+    def test_zero_wavelength_rejected(self):
+        with pytest.raises(SimulationError):
+            RollingHills(wavelength=0.0)

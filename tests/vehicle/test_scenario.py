@@ -1,0 +1,71 @@
+"""Scenario registry and construction."""
+
+import pytest
+
+from repro.vehicle.road import FlatRoad, RollingHills
+from repro.vehicle.scenario import (
+    STANDARD_SCENARIOS,
+    Scenario,
+    cut_in,
+    hills_cruise,
+    steady_follow,
+)
+
+
+class TestRegistry:
+    def test_all_standard_scenarios_registered(self):
+        expected = {
+            "steady_follow",
+            "free_cruise",
+            "hills_cruise",
+            "cut_in",
+            "overtake",
+            "stop_and_go",
+            "hard_brake_lead",
+            "traffic_jam",
+            "mountain_pass",
+            "aggressive_cut_ins",
+        }
+        assert set(STANDARD_SCENARIOS) == expected
+
+    def test_registry_keys_match_scenario_names(self):
+        for name, scenario in STANDARD_SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_every_scenario_engages_the_acc(self):
+        for scenario in STANDARD_SCENARIOS.values():
+            assert any(a.acc_on for a in scenario.driver_actions)
+
+    def test_every_scenario_has_description(self):
+        for scenario in STANDARD_SCENARIOS.values():
+            assert scenario.description
+
+
+class TestConstruction:
+    def test_make_lead_is_fresh_each_time(self):
+        scenario = steady_follow()
+        a = scenario.make_lead()
+        b = scenario.make_lead()
+        assert a is not b
+        a.step(0.01, 10.0, 0.0)
+        assert not b.present or b is not a
+
+    def test_make_driver_starts_disengaged(self):
+        driver = steady_follow().make_driver()
+        assert not driver.step(0.0).acc_on
+
+    def test_make_sensor_uses_scenario_noise(self):
+        quiet = steady_follow().make_sensor()
+        assert quiet.range_noise_std == 0.0
+
+    def test_hills_scenario_uses_rolling_road(self):
+        assert isinstance(hills_cruise().road, RollingHills)
+        assert isinstance(steady_follow().road, FlatRoad)
+
+    def test_cut_in_appears_close(self):
+        events = cut_in().lead_script
+        appear = events[0]
+        assert appear.range_m < 20.0
+
+    def test_duration_parameter_respected(self):
+        assert steady_follow(duration=42.0).duration == 42.0

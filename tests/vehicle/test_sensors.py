@@ -1,0 +1,101 @@
+"""Range sensor: detection limits, sign convention, noise, acquisition."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.lead import Appear, LeadVehicle
+from repro.vehicle.sensors import RangeSensor
+
+
+def present_lead(range_m=50.0, speed=20.0, ego_position=0.0):
+    lead = LeadVehicle([Appear(time=0.0, range_m=range_m, speed=speed)])
+    lead.step(0.01, 0.0, ego_position)
+    return lead
+
+
+class TestDetection:
+    def test_no_lead_reports_inactive_zeros(self):
+        sensor = RangeSensor()
+        m = sensor.measure(LeadVehicle(), 0.0, 25.0)
+        assert not m.vehicle_ahead
+        assert m.target_range == 0.0
+        assert m.target_rel_vel == 0.0
+
+    def test_lead_within_range_detected(self):
+        sensor = RangeSensor(max_range=150.0)
+        m = sensor.measure(present_lead(range_m=50.0), 0.0, 25.0)
+        assert m.vehicle_ahead
+        assert m.target_range == pytest.approx(50.0, abs=0.5)
+
+    def test_lead_beyond_max_range_not_detected(self):
+        sensor = RangeSensor(max_range=150.0)
+        m = sensor.measure(present_lead(range_m=200.0), 0.0, 25.0)
+        assert not m.vehicle_ahead
+
+    def test_lead_behind_ego_not_detected(self):
+        lead = present_lead(range_m=10.0)
+        sensor = RangeSensor()
+        m = sensor.measure(lead, 50.0, 25.0)  # ego ahead of the lead
+        assert not m.vehicle_ahead
+
+
+class TestRelativeVelocity:
+    def test_negative_means_closing(self):
+        sensor = RangeSensor()
+        lead = present_lead(range_m=50.0, speed=20.0)
+        m = sensor.measure(lead, 0.0, 25.0)  # ego faster by 5
+        assert m.target_rel_vel == pytest.approx(-5.0, abs=0.01)
+
+    def test_positive_means_opening(self):
+        sensor = RangeSensor()
+        lead = present_lead(range_m=50.0, speed=30.0)
+        m = sensor.measure(lead, 0.0, 25.0)
+        assert m.target_rel_vel == pytest.approx(5.0, abs=0.01)
+
+
+class TestAcquisitionJump:
+    def test_range_jumps_discretely_on_acquisition(self):
+        # The §V-C2 behaviour: 0 while absent, true range once acquired.
+        sensor = RangeSensor()
+        lead = LeadVehicle([Appear(time=1.0, range_m=80.0, speed=20.0)])
+        before = sensor.measure(lead, 0.0, 25.0)
+        lead.step(0.01, 1.0, 0.0)
+        after = sensor.measure(lead, 0.0, 25.0)
+        assert before.target_range == 0.0
+        assert after.target_range == pytest.approx(80.0, abs=0.5)
+
+
+class TestNoise:
+    def test_noise_perturbs_measurements(self):
+        sensor = RangeSensor(range_noise_std=1.0, rel_vel_noise_std=0.5, seed=2)
+        lead = present_lead()
+        ranges = {round(sensor.measure(lead, 0.0, 25.0).target_range, 6) for _ in range(20)}
+        assert len(ranges) > 1
+
+    def test_noise_is_reproducible_by_seed(self):
+        lead = present_lead()
+        a = RangeSensor(range_noise_std=1.0, seed=5)
+        b = RangeSensor(range_noise_std=1.0, seed=5)
+        for _ in range(10):
+            assert a.measure(lead, 0.0, 25.0) == b.measure(lead, 0.0, 25.0)
+
+    def test_noisy_range_never_negative(self):
+        sensor = RangeSensor(range_noise_std=5.0, seed=3)
+        lead = present_lead(range_m=0.5)
+        for _ in range(200):
+            assert sensor.measure(lead, 0.0, 25.0).target_range >= 0.0
+
+    def test_zero_noise_is_exact(self):
+        sensor = RangeSensor()
+        lead = present_lead(range_m=42.0)
+        m = sensor.measure(lead, 0.0, 25.0)
+        # One integration step after appearing at 42 m (lead moves 0.2 m).
+        assert m.target_range == pytest.approx(42.2, abs=1e-6)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            RangeSensor(max_range=0.0)
+        with pytest.raises(SimulationError):
+            RangeSensor(range_noise_std=-1.0)
