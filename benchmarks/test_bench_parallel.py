@@ -1,0 +1,72 @@
+"""E13 — parallel campaign execution: speedup and bit-identical letters.
+
+Runs the full 32-row Table I test plan twice — sequentially, then fanned
+out to worker processes — and records the wall-clock speedup.  The
+campaign uses shortened holds (the E12 hold-time sweep shows 2 s holds
+already manifest the switch-transient violations) so both runs fit in a
+benchmark budget; the contract under test is scheduling, not physics:
+
+* the parallel letter matrix is **byte-identical** to the sequential
+  one (per-test seed derivation makes every row self-contained);
+* rows come back in paper order regardless of completion order.
+
+The measured speedup depends on the host (on a single-core box the
+pool's fork/pickle overhead can even make it < 1x); the number is
+recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.testing.campaign import RobustnessCampaign, table1_tests
+from repro.testing.parallel import resolve_jobs
+
+#: Same seed as every other reproduction artifact (see conftest.py).
+SEED = 2014
+
+#: Worker processes for the parallel leg (at least 2, even on 1 core,
+#: so the process-boundary path is genuinely exercised).
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _campaign() -> RobustnessCampaign:
+    return RobustnessCampaign(
+        seed=SEED, hold_time=2.0, gap_time=0.5, settle_time=8.0
+    )
+
+
+def test_parallel_campaign_speedup(publish):
+    tests = table1_tests()
+
+    started = time.perf_counter()
+    sequential = _campaign().run_table1(tests=tests, jobs=1)
+    sequential_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = _campaign().run_table1(tests=tests, jobs=JOBS)
+    parallel_s = time.perf_counter() - started
+
+    identical = parallel.format() == sequential.format()
+    speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+
+    lines = [
+        "PARALLEL CAMPAIGN EXECUTION (%d Table I rows, 2 s holds)"
+        % len(tests),
+        "",
+        "%-34s %8s" % ("configuration", "seconds"),
+        "%-34s %8.2f" % ("sequential (jobs=1)", sequential_s),
+        "%-34s %8.2f" % ("parallel   (jobs=%d)" % JOBS, parallel_s),
+        "",
+        "wall-clock speedup: %.2fx on %d core(s)"
+        % (speedup, os.cpu_count() or 1),
+        "letter matrices byte-identical: %s" % ("yes" if identical else "NO"),
+        "",
+        parallel.format(title="FAULT INJECTION RESULTS (parallel run)"),
+    ]
+    publish("parallel_campaign.txt", "\n".join(lines))
+
+    assert identical, "parallel letters drifted from the sequential run"
+    assert parallel.labels() == [t.label for t in tests]
+    assert resolve_jobs(JOBS) == JOBS

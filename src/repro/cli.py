@@ -6,7 +6,13 @@ Entry point ``repro-oracle`` with subcommands:
 * ``simulate`` — run one HIL scenario and write the captured trace;
 * ``check`` — run the monitor over a stored trace file;
 * ``drive`` — generate the synthetic real-vehicle drive logs;
-* ``table1`` — run the robustness campaign and print Table I.
+* ``online`` — stream a stored trace through the online monitor;
+* ``reproduce`` — regenerate the paper's core results (``--jobs N``
+  fans the campaign out to worker processes);
+* ``table1`` — run the robustness campaign and print Table I
+  (``--jobs N`` for parallel execution, ``--out`` to persist the
+  table, ``--strict`` to fail when the type-checker rejects any
+  injection).
 """
 
 from __future__ import annotations
@@ -21,7 +27,14 @@ from repro.hil.simulator import HilSimulator
 from repro.logs.format import read_trace, write_trace
 from repro.logs.vehicle_logs import generate_drive_logs
 from repro.rules.safety_rules import paper_rules
-from repro.testing.campaign import RobustnessCampaign, single_signal_tests
+from repro.testing.campaign import (
+    GAP_TIME,
+    HOLD_TIME,
+    SETTLE_TIME,
+    RobustnessCampaign,
+    single_signal_tests,
+    table1_tests,
+)
 from repro.vehicle.scenario import STANDARD_SCENARIOS
 
 
@@ -33,6 +46,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 2
     return args.handler(args)
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 means all cores), got %d" % jobs
+        )
+    return jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="single-signal Table I rows only (about 3x faster)",
     )
     repro_cmd.add_argument("--out", default=None, help="write the report here")
+    repro_cmd.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="worker processes for the campaign (0 = all cores; default 1)",
+    )
     repro_cmd.set_defaults(handler=_cmd_reproduce)
 
     table_cmd = sub.add_parser(
@@ -111,6 +139,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="single-signal rows only (about a third of the full runtime)",
+    )
+    table_cmd.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help=(
+            "worker processes (0 = all cores; default 1); the letter "
+            "matrix is bit-identical to a sequential run"
+        ),
+    )
+    table_cmd.add_argument("--out", default=None, help="write the table here")
+    table_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit nonzero if the type-checker rejected any injection "
+            "(on the hil profile enum injections are routinely rejected, "
+            "so this flags campaigns whose plan was not fully executed)"
+        ),
+    )
+    table_cmd.add_argument(
+        "--profile",
+        choices=("hil", "vehicle"),
+        default="hil",
+        help="injection type-checker profile (default hil)",
+    )
+    table_cmd.add_argument(
+        "--hold", type=float, default=HOLD_TIME,
+        help="seconds each fault is held (default %s)" % HOLD_TIME,
+    )
+    table_cmd.add_argument(
+        "--gap", type=float, default=GAP_TIME,
+        help="pass-through seconds between injections (default %s)" % GAP_TIME,
+    )
+    table_cmd.add_argument(
+        "--settle", type=float, default=SETTLE_TIME,
+        help="seconds before the first injection (default %s)" % SETTLE_TIME,
+    )
+    table_cmd.add_argument(
+        "--limit", type=int, default=None,
+        help="run only the first N rows (smoke testing)",
     )
     table_cmd.set_defaults(handler=_cmd_table1)
 
@@ -222,6 +291,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         progress=lambda stage, detail: print(
             "[%s] %s" % (stage, detail), flush=True
         ),
+        jobs=args.jobs,
     )
     print()
     print(result.report())
@@ -233,20 +303,42 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    campaign = RobustnessCampaign(seed=args.seed)
-    tests = single_signal_tests() if args.quick else None
+    from repro.hil.typecheck import checker_named
+
+    campaign = RobustnessCampaign(
+        seed=args.seed,
+        checker=checker_named(args.profile),
+        hold_time=args.hold,
+        gap_time=args.gap,
+        settle_time=args.settle,
+    )
+    tests = single_signal_tests() if args.quick else table1_tests()
+    if args.limit is not None:
+        tests = tests[: args.limit]
 
     def progress(test, outcome):
+        # Sequential runs pass a TestOutcome, parallel runs a TableRow;
+        # both expose the per-rule letters.
         letters = " ".join(
             outcome.letters[rid] for rid in sorted(outcome.letters)
         )
         print("%-28s %s" % (test.label, letters), flush=True)
 
-    table = campaign.run_table1(tests=tests, progress=progress)
+    table = campaign.run_table1(tests=tests, progress=progress, jobs=args.jobs)
+    text = "%s\n\n%s" % (table.format(), table.shape_summary())
     print()
-    print(table.format())
-    print()
-    print(table.shape_summary())
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print("\ntable written to %s" % args.out)
+    rejections = sum(row.rejections for row in table.rows)
+    if args.strict and rejections > 0:
+        print(
+            "\nstrict mode: %d injection(s) rejected by the %r type-checker"
+            % (rejections, args.profile)
+        )
+        return 1
     return 0
 
 

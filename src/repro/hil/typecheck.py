@@ -104,3 +104,20 @@ class InjectionTypeChecker:
 HIL_PROFILE = InjectionTypeChecker(CheckProfile.HIL)
 #: Shared permissive checker (real vehicle behaviour).
 VEHICLE_PROFILE = InjectionTypeChecker(CheckProfile.VEHICLE)
+
+#: Checker profiles by name — the CLI/worker construction registry.
+CHECKER_PROFILES = {
+    CheckProfile.HIL.value: HIL_PROFILE,
+    CheckProfile.VEHICLE.value: VEHICLE_PROFILE,
+}
+
+
+def checker_named(name: str) -> InjectionTypeChecker:
+    """Look up a checker profile by name (``"hil"`` or ``"vehicle"``)."""
+    try:
+        return CHECKER_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown checker profile %r (choose from %s)"
+            % (name, ", ".join(sorted(CHECKER_PROFILES)))
+        ) from None

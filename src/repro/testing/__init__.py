@@ -25,6 +25,7 @@ from repro.testing.campaign import (
     single_signal_tests,
     table1_tests,
 )
+from repro.testing.parallel import resolve_jobs, run_table1_parallel
 from repro.testing.random_injection import FLOAT_RANGE, random_values
 from repro.testing.reproducer import ReproductionResult, reproduce
 from repro.testing.results import (
@@ -65,6 +66,8 @@ __all__ = [
     "random_valid_values",
     "random_values",
     "reproduce",
+    "resolve_jobs",
+    "run_table1_parallel",
     "single_signal_tests",
     "table1_tests",
 ]

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.can.fsracc import FSRACC_INPUTS
+from repro.can.fsracc import FSRACC_INPUTS, fsracc_database
 from repro.core.monitor import Monitor, MonitorReport, Rule
 from repro.errors import InjectionError
 from repro.hil.simulator import HilSimulator
@@ -29,7 +29,12 @@ from repro.hil.typecheck import HIL_PROFILE, InjectionTypeChecker
 from repro.logs.trace import Trace
 from repro.rules.safety_rules import RULE_IDS, paper_rules
 from repro.testing.ballista import ballista_values
-from repro.testing.bitflip import bitflip_offsets, bitflip_schedule
+from repro.testing.bitflip import (
+    FLIPS_PER_SIZE,
+    FLIP_SIZES,
+    bitflip_offsets,
+    bitflip_schedule,
+)
 from repro.testing.random_injection import random_values
 from repro.testing.results import (
     RANGE_PLUS,
@@ -115,8 +120,27 @@ def table1_tests() -> List[InjectionTest]:
     return single_signal_tests() + multi_signal_tests()
 
 
+#: Lazily built database used only for plan sizing (bit lengths); the
+#: simulator under test always builds its own fresh instance.
+_PLAN_DATABASE = None
+
+
+def _plan_database():
+    global _PLAN_DATABASE
+    if _PLAN_DATABASE is None:
+        _PLAN_DATABASE = fsracc_database()
+    return _PLAN_DATABASE
+
+
 class RobustnessCampaign:
-    """Runs injection tests and assembles the Table I matrix."""
+    """Runs injection tests and assembles the Table I matrix.
+
+    A campaign instance holds only immutable configuration (rules, seed,
+    timing parameters): every :meth:`run_test` call builds its own
+    simulator *and* its own :class:`Monitor`, so outcomes cannot bleed
+    between tests and instances are safe to ship to worker processes
+    (see :mod:`repro.testing.parallel`).
+    """
 
     def __init__(
         self,
@@ -135,16 +159,47 @@ class RobustnessCampaign:
         self.gap_time = gap_time
         self.settle_time = settle_time
         self.keep_traces = keep_traces
-        self.monitor = Monitor(self.rules)
+        # Validate the rule set eagerly (duplicate ids, undefined
+        # machines) so misconfiguration fails here, not inside a worker.
+        self.make_monitor()
 
     # ------------------------------------------------------------------
+
+    def make_monitor(self) -> Monitor:
+        """A fresh monitor over this campaign's rules.
+
+        Built per test: sharing one monitor across tests (and worker
+        processes) would couple outcomes to shared object state.
+        """
+        return Monitor(self.rules)
+
+    def injection_count(self, test: InjectionTest) -> int:
+        """How many injections ``test``'s plan holds (no RNG consumed)."""
+        kind = test.kind
+        if kind in ("Random", "Ballista"):
+            return VALUES_PER_TEST
+        if kind in ("mRandom", "mBallista") or kind.startswith("mBitflip"):
+            return MULTI_VALUES
+        if kind == "Bitflips":
+            (target,) = test.targets
+            bit_length = _plan_database().signal(target).bit_length
+            return sum(
+                FLIPS_PER_SIZE for size in FLIP_SIZES if size <= bit_length
+            )
+        raise InjectionError("unknown injection kind %r" % kind)
+
+    def scenario_duration(self, test: InjectionTest) -> float:
+        """The exact scenario length: ``settle + n * (hold + gap)``."""
+        return self.settle_time + self.injection_count(test) * (
+            self.hold_time + self.gap_time
+        )
 
     def run_test(self, test: InjectionTest) -> TestOutcome:
         """Run one injection test on a fresh testbench."""
         derived_seed = self._derive_seed(test.label)
         rng = np.random.default_rng(derived_seed)
         simulator = HilSimulator(
-            scenario=steady_follow(duration=1e9),
+            scenario=steady_follow(duration=self.scenario_duration(test)),
             checker=self.checker,
             seed=derived_seed,
             trace_name=test.label,
@@ -157,7 +212,7 @@ class RobustnessCampaign:
             simulator.injection.clear_all()
             simulator.run_for(self.gap_time)
         result = simulator.result()
-        report = self.monitor.check(result.trace)
+        report = self.make_monitor().check(result.trace)
         letters = {rule_id: report.letter(rule_id) for rule_id in RULE_IDS}
         return TestOutcome(
             test=test,
@@ -172,8 +227,25 @@ class RobustnessCampaign:
         self,
         tests: Optional[Sequence[InjectionTest]] = None,
         progress: Optional[Callable[[InjectionTest, TestOutcome], None]] = None,
+        jobs: int = 1,
     ) -> Table1:
-        """Run every Table I test and assemble the matrix."""
+        """Run every Table I test and assemble the matrix.
+
+        ``jobs`` > 1 fans the tests out to that many worker processes
+        (``jobs=0`` uses every core); rows come back in paper order and
+        are bit-identical to a sequential run because each test derives
+        its seed from the campaign seed and its own label.  In parallel
+        mode ``progress`` receives a :class:`~repro.testing.results.TableRow`
+        (same ``letters``/``collisions``/``rejections`` fields, no
+        report or trace) as each test finishes, in completion order.
+        """
+        if jobs != 1:
+            from repro.testing.parallel import resolve_jobs, run_table1_parallel
+
+            if resolve_jobs(jobs) > 1:
+                return run_table1_parallel(
+                    self, tests=tests, jobs=jobs, progress=progress
+                )
         table = Table1()
         for test in tests if tests is not None else table1_tests():
             outcome = self.run_test(test)

@@ -1,0 +1,121 @@
+"""Parallel Table I execution — fan injection tests out to processes.
+
+The §IV campaign is 32 *independent* tests: each derives its RNG seed
+from the campaign seed and its own row label (CRC32), builds a fresh
+simulator, and is checked by a fresh monitor.  Nothing is shared between
+tests, so the whole table can run on every core and still come out
+bit-identical to a sequential run — the rows are reassembled in paper
+order regardless of completion order.
+
+Worker-side construction: the campaign configuration is pickled once
+into each worker (pool initializer), and every test then builds its own
+:class:`~repro.hil.simulator.HilSimulator` and
+:class:`~repro.core.monitor.Monitor` inside the worker, exactly as the
+sequential path does.  Only the finished
+:class:`~repro.testing.results.TableRow` (letters, collision and
+rejection counts) crosses back over the process boundary; full traces
+and reports never do, which keeps the result payload small and is why
+``keep_traces`` campaigns must run sequentially.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence
+
+from repro.testing.campaign import (
+    InjectionTest,
+    RobustnessCampaign,
+    table1_tests,
+)
+from repro.testing.results import Table1, TableRow
+
+#: Parallel progress callback: (finished test, its assembled row), in
+#: completion order — NOT paper order.
+ParallelProgress = Callable[[InjectionTest, TableRow], None]
+
+#: Per-process campaign, installed by the pool initializer.
+_WORKER_CAMPAIGN: Optional[RobustnessCampaign] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle the campaign once per worker."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = pickle.loads(payload)
+
+
+def _run_one(test: InjectionTest) -> TableRow:
+    """Run one test in the worker and return its (small) table row."""
+    if _WORKER_CAMPAIGN is None:
+        raise RuntimeError("worker process was not initialized")
+    return _WORKER_CAMPAIGN.run_test(test).to_row()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means every core."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(
+            "jobs must be >= 0 (0 means all cores), got %d" % jobs
+        )
+    return int(jobs)
+
+
+def _pickled_campaign(campaign: RobustnessCampaign) -> bytes:
+    try:
+        return pickle.dumps(campaign)
+    except Exception as exc:
+        raise ValueError(
+            "campaign is not pickle-safe; custom rules, intent filters and "
+            "checkers must be defined at module level to cross the process "
+            "boundary (%s)" % exc
+        ) from exc
+
+
+def run_table1_parallel(
+    campaign: RobustnessCampaign,
+    tests: Optional[Sequence[InjectionTest]] = None,
+    jobs: Optional[int] = None,
+    progress: Optional[ParallelProgress] = None,
+) -> Table1:
+    """Run the Table I tests across ``jobs`` worker processes.
+
+    Returns the same matrix as ``campaign.run_table1(tests)`` — rows in
+    paper order, letters bit-identical — while ``progress`` fires from
+    :func:`~concurrent.futures.as_completed` as each test finishes.
+    """
+    test_list = list(tests) if tests is not None else table1_tests()
+    if campaign.keep_traces:
+        raise ValueError(
+            "keep_traces is not supported with parallel execution: traces "
+            "are dropped when rows cross the process boundary; run with "
+            "jobs=1 to retain traces"
+        )
+    workers = min(resolve_jobs(jobs), max(len(test_list), 1))
+    if workers <= 1 or len(test_list) <= 1:
+        adapted = None
+        if progress is not None:
+            adapted = lambda test, outcome: progress(test, outcome.to_row())
+        return campaign.run_table1(tests=test_list, progress=adapted, jobs=1)
+
+    payload = _pickled_campaign(campaign)
+    rows: List[Optional[TableRow]] = [None] * len(test_list)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        futures = {
+            pool.submit(_run_one, test): index
+            for index, test in enumerate(test_list)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            row = future.result()
+            rows[index] = row
+            if progress is not None:
+                progress(test_list[index], row)
+    return Table1(rows=[row for row in rows if row is not None])

@@ -71,6 +71,50 @@ class TestRulesExport:
         assert main(["check", str(trace_file), "--rules", str(rules_file)]) == 0
 
 
+#: Short campaign knobs so table1 smoke runs stay fast.
+FAST_TABLE1 = ["--hold", "0.5", "--gap", "0.25", "--settle", "3"]
+
+
+class TestTable1Command:
+    def test_limit_and_out_write_table(self, tmp_path, capsys):
+        out_file = tmp_path / "table1.txt"
+        code = main(
+            ["table1", "--seed", "11", "--limit", "2", "--out", str(out_file)]
+            + FAST_TABLE1
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Random Velocity" in out
+        assert "shape checks" in out
+        text = out_file.read_text()
+        assert "FAULT INJECTION RESULTS" in text
+        assert "Random TargetRange" in text
+
+    def test_parallel_matches_sequential_output(self, tmp_path, capsys):
+        seq_file = tmp_path / "seq.txt"
+        par_file = tmp_path / "par.txt"
+        argv = ["table1", "--seed", "11", "--limit", "3"] + FAST_TABLE1
+        assert main(argv + ["--out", str(seq_file)]) == 0
+        assert main(argv + ["--jobs", "2", "--out", str(par_file)]) == 0
+        capsys.readouterr()
+        assert par_file.read_bytes() == seq_file.read_bytes()
+
+    def test_strict_fails_on_rejected_injections(self, capsys):
+        # Random SelHeadway draws out-of-range enum values that the HIL
+        # profile vetoes, so a strict run over the single-signal rows
+        # must exit nonzero and say why.
+        argv = ["table1", "--seed", "11", "--quick", "--limit", "8",
+                "--strict"] + FAST_TABLE1
+        assert main(argv) == 1
+        assert "strict mode" in capsys.readouterr().out
+
+    def test_vehicle_profile_admits_enums_so_strict_passes(self, capsys):
+        argv = ["table1", "--seed", "11", "--quick", "--limit", "8",
+                "--strict", "--profile", "vehicle"] + FAST_TABLE1
+        assert main(argv) == 0
+        capsys.readouterr()
+
+
 class TestDriveCommand:
     def test_drive_reports_all_scenarios(self, tmp_path, capsys):
         code = main(["drive", "--seed", "5", "--out-dir", str(tmp_path)])

@@ -125,6 +125,49 @@ class TestRunTest:
         assert outcome.rejections == 0
 
 
+class TestScenarioDuration:
+    def test_duration_is_settle_plus_injections(self):
+        campaign = quick_campaign()
+        test = InjectionTest("Random Velocity", "Random", ("Velocity",))
+        assert campaign.injection_count(test) == 8
+        assert campaign.scenario_duration(test) == pytest.approx(
+            8.0 + 8 * (2.0 + 0.5)
+        )
+
+    def test_bitflip_count_respects_field_width(self):
+        campaign = quick_campaign()
+        # Velocity is a wide float field: 4 flips at each of 1/2/4 bits.
+        wide = InjectionTest("Bitflips Velocity", "Bitflips", ("Velocity",))
+        assert campaign.injection_count(wide) == 12
+        # VehicleAhead is a 1-bit boolean: only the 1-bit size fits.
+        narrow = InjectionTest(
+            "Bitflips VehicleAhead", "Bitflips", ("VehicleAhead",)
+        )
+        assert campaign.injection_count(narrow) == 4
+
+    def test_multi_signal_counts(self):
+        campaign = quick_campaign()
+        assert (
+            campaign.injection_count(
+                InjectionTest("mRandom Range+", "mRandom", RANGE_PLUS)
+            )
+            == 20
+        )
+        assert (
+            campaign.injection_count(
+                InjectionTest("mBitflip2 Range+", "mBitflip2", RANGE_PLUS)
+            )
+            == 20
+        )
+
+    def test_trace_spans_exactly_the_scenario(self):
+        campaign = quick_campaign(keep_traces=True)
+        test = InjectionTest("Random ThrotPos", "Random", ("ThrotPos",))
+        outcome = campaign.run_test(test)
+        expected = campaign.scenario_duration(test)
+        assert outcome.trace.duration == pytest.approx(expected, abs=0.1)
+
+
 class TestRunTable:
     def test_partial_table_with_progress(self):
         campaign = quick_campaign()

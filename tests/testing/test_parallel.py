@@ -1,0 +1,111 @@
+"""Parallel campaign execution.
+
+The headline contract: for the same campaign seed, a parallel run must
+produce a letter matrix byte-identical to the sequential run, with rows
+in paper order regardless of completion order.  Short hold times keep
+these runs fast; the full-table speedup measurement lives in
+``benchmarks/test_bench_parallel.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.testing.campaign import RobustnessCampaign, single_signal_tests
+from repro.testing.parallel import resolve_jobs, run_table1_parallel
+
+
+def quick_campaign(**kwargs):
+    defaults = dict(seed=11, hold_time=1.0, gap_time=0.25, settle_time=5.0)
+    defaults.update(kwargs)
+    return RobustnessCampaign(**defaults)
+
+
+SUBSET = single_signal_tests()[:4]
+
+
+class TestResolveJobs:
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) == resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestCampaignIsPickleSafe:
+    def test_campaign_roundtrips(self):
+        campaign = quick_campaign()
+        clone = pickle.loads(pickle.dumps(campaign))
+        assert clone.seed == campaign.seed
+        assert [r.rule_id for r in clone.rules] == [
+            r.rule_id for r in campaign.rules
+        ]
+
+    def test_fresh_monitor_per_test(self):
+        campaign = quick_campaign()
+        assert campaign.make_monitor() is not campaign.make_monitor()
+        assert not hasattr(campaign, "monitor")  # no shared mutable state
+
+
+class TestParallelMatchesSequential:
+    def test_letters_identical_and_in_paper_order(self):
+        sequential = quick_campaign().run_table1(tests=SUBSET)
+        parallel = quick_campaign().run_table1(tests=SUBSET, jobs=2)
+        assert parallel.labels() == [t.label for t in SUBSET]
+        assert parallel.format() == sequential.format()
+        for seq_row, par_row in zip(sequential.rows, parallel.rows):
+            assert par_row.letters == seq_row.letters
+            assert par_row.collisions == seq_row.collisions
+            assert par_row.rejections == seq_row.rejections
+
+    def test_repeated_parallel_runs_identical(self):
+        first = quick_campaign().run_table1(tests=SUBSET, jobs=2)
+        second = quick_campaign().run_table1(tests=SUBSET, jobs=2)
+        assert first.format() == second.format()
+
+    def test_jobs_four_matches_jobs_one(self):
+        sequential = quick_campaign().run_table1(tests=SUBSET, jobs=1)
+        parallel = quick_campaign().run_table1(tests=SUBSET, jobs=4)
+        assert parallel.format() == sequential.format()
+
+    def test_progress_fires_for_every_test(self):
+        seen = []
+        run_table1_parallel(
+            quick_campaign(),
+            tests=SUBSET,
+            jobs=2,
+            progress=lambda test, row: seen.append((test.label, row.letters)),
+        )
+        assert sorted(label for label, _ in seen) == sorted(
+            t.label for t in SUBSET
+        )
+        for _, letters in seen:
+            assert set(letters.values()) <= {"S", "V"}
+
+
+class TestParallelEdgeCases:
+    def test_jobs_one_falls_back_to_sequential(self):
+        seen = []
+        table = run_table1_parallel(
+            quick_campaign(),
+            tests=SUBSET[:2],
+            jobs=1,
+            progress=lambda test, row: seen.append(row.letters),
+        )
+        assert len(table.rows) == 2
+        assert len(seen) == 2
+
+    def test_keep_traces_rejected(self):
+        with pytest.raises(ValueError, match="keep_traces"):
+            run_table1_parallel(
+                quick_campaign(keep_traces=True), tests=SUBSET, jobs=2
+            )
+
+    def test_single_test_avoids_pool(self):
+        table = run_table1_parallel(quick_campaign(), tests=SUBSET[:1], jobs=4)
+        assert table.labels() == [SUBSET[0].label]
