@@ -12,12 +12,17 @@ Entry point ``repro-oracle`` with subcommands:
 * ``table1`` — run the robustness campaign and print Table I
   (``--jobs N`` for parallel execution, ``--out`` to persist the
   table, ``--strict`` to fail when the type-checker rejects any
-  injection).
+  injection, ``--metrics-out`` to capture an observability snapshot).
+
+Stream discipline: results (tables, reports, rule listings) go to
+stdout; progress lines and metrics summaries go to stderr, so piped
+output stays clean (``table1 ... > table.txt`` captures only the table).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -55,6 +60,33 @@ def _jobs_arg(value: str) -> int:
             "must be >= 0 (0 means all cores), got %d" % jobs
         )
     return jobs
+
+
+def _progress(text: str) -> None:
+    """Progress lines go to stderr so piped stdout stays clean."""
+    print(text, file=sys.stderr, flush=True)
+
+
+def _metrics_registry(args: argparse.Namespace):
+    """An enabled registry when ``--metrics-out`` was given, else the no-op."""
+    from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+    if getattr(args, "metrics_out", None):
+        return MetricsRegistry()
+    return NULL_REGISTRY
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Persist a validated snapshot; the human summary goes to stderr."""
+    from repro.obs import require_valid_snapshot
+
+    snapshot = require_valid_snapshot(registry.snapshot())
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    _progress("")
+    _progress(registry.summary())
+    _progress("metrics snapshot written to %s" % path)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -95,6 +127,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rules",
         default=None,
         help="check a custom .rules file instead of the paper rules",
+    )
+    check_cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        help=(
+            "write an observability snapshot (per-rule and per-node "
+            "evaluation timings) to this JSON file; the human-readable "
+            "summary goes to stderr"
+        ),
     )
     check_cmd.set_defaults(handler=_cmd_check)
 
@@ -181,6 +222,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None,
         help="run only the first N rows (smoke testing)",
     )
+    table_cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        help=(
+            "write a campaign observability snapshot (per-test phase "
+            "spans, per-rule timings, merged across workers) to this "
+            "JSON file; the letter matrix is unaffected"
+        ),
+    )
     table_cmd.set_defaults(handler=_cmd_table1)
 
     return parser
@@ -220,6 +270,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.obs import use_registry
+
     trace = read_trace(args.trace)
     if args.rules:
         from repro.core.specfile import load_specs
@@ -228,7 +280,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         monitor = Monitor(paper_rules(relaxed=args.relaxed), period=args.period)
     oracle = TestOracle(monitor)
-    outcome = oracle.judge(trace)
+    registry = _metrics_registry(args)
+    with use_registry(registry):
+        outcome = oracle.judge(trace)
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     print(outcome.report.summary())
     print()
     print(outcome.explain())
@@ -288,9 +344,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     result = reproduce(
         seed=args.seed,
         quick=args.quick,
-        progress=lambda stage, detail: print(
-            "[%s] %s" % (stage, detail), flush=True
-        ),
+        progress=lambda stage, detail: _progress("[%s] %s" % (stage, detail)),
         jobs=args.jobs,
     )
     print()
@@ -298,12 +352,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(result.report() + "\n")
-        print("\nreport written to %s" % args.out)
+        _progress("report written to %s" % args.out)
     return 0 if result.ok else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.hil.typecheck import checker_named
+    from repro.obs import use_registry
 
     campaign = RobustnessCampaign(
         seed=args.seed,
@@ -322,16 +377,22 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         letters = " ".join(
             outcome.letters[rid] for rid in sorted(outcome.letters)
         )
-        print("%-28s %s" % (test.label, letters), flush=True)
+        _progress("%-28s %s" % (test.label, letters))
 
-    table = campaign.run_table1(tests=tests, progress=progress, jobs=args.jobs)
+    registry = _metrics_registry(args)
+    with use_registry(registry):
+        table = campaign.run_table1(
+            tests=tests, progress=progress, jobs=args.jobs
+        )
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     text = "%s\n\n%s" % (table.format(), table.shape_summary())
     print()
     print(text)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
-        print("\ntable written to %s" % args.out)
+        _progress("table written to %s" % args.out)
     rejections = sum(row.rejections for row in table.rows)
     if args.strict and rejections > 0:
         print(

@@ -42,6 +42,7 @@ from repro.core.violations import Violation, extract_violations
 from repro.core.warmup import WarmupSpec
 from repro.errors import SpecError
 from repro.logs.trace import Trace, TraceView
+from repro.obs import get_registry
 
 #: Default monitor sampling period — the vehicle's fast message period.
 DEFAULT_PERIOD = 0.02
@@ -299,17 +300,21 @@ class Monitor:
 
     def check_view(self, view: TraceView, trace_name: str = "") -> MonitorReport:
         """Check every rule against an already-built view."""
+        registry = get_registry()
+        registry.counter("monitor.checks").inc()
         ctx = EvalContext(view)
-        for machine in self.machines:
-            ctx.machine_states[machine.name] = machine.run(ctx)
-            ctx.machine_alphabets[machine.name] = machine.alphabet
+        with registry.span("monitor.machines"):
+            for machine in self.machines:
+                ctx.machine_states[machine.name] = machine.run(ctx)
+                ctx.machine_alphabets[machine.name] = machine.alphabet
         report = MonitorReport(
             trace_name=trace_name,
             period=view.period,
             duration=view.end_time - view.start_time,
         )
         for rule in self.rules:
-            report.results[rule.rule_id] = self._check_rule(rule, ctx)
+            with registry.span("monitor.rule.%s" % rule.rule_id):
+                report.results[rule.rule_id] = self._check_rule(rule, ctx)
         return report
 
     # ------------------------------------------------------------------
@@ -342,7 +347,7 @@ class Monitor:
         else:
             verdict = summarize_codes(codes)
 
-        return RuleResult(
+        result = RuleResult(
             rule=rule,
             verdict=verdict,
             violations=kept,
@@ -352,3 +357,9 @@ class Monitor:
             rows_masked=int(masked.sum()),
             rows_unknown=int((codes == UNKNOWN_CODE).sum()),
         )
+        registry = get_registry()
+        registry.counter("monitor.rows_checked").inc(result.rows_checked)
+        registry.counter("monitor.rows_masked").inc(result.rows_masked)
+        registry.counter("monitor.violations").inc(len(kept))
+        registry.counter("monitor.dismissed").inc(len(dropped))
+        return result

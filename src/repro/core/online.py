@@ -65,6 +65,7 @@ from repro.core.types import (
 from repro.core.violations import Violation, extract_violations
 from repro.errors import TraceError
 from repro.logs.trace import Trace
+from repro.obs import get_registry
 
 
 @dataclass
@@ -224,7 +225,21 @@ class OnlineMonitor:
         return self._row_of(self._latest) - self._horizon_rows
 
     def _emit(self, upto_row: int, allow_unknown_tail: bool = False) -> List[Violation]:
-        """Evaluate and finalize rows [next_emit_row .. upto_row]."""
+        """Evaluate and finalize rows [next_emit_row .. upto_row].
+
+        When metrics are on, each chunk records its emitted size
+        (``online.chunk_rows``), the rows the view re-evaluates beyond
+        what it emits (``online.rows_reevaluated`` — history margin plus
+        undecidable tail, the price of chunked online evaluation), and
+        the post-trim buffer size (``online.buffer_events``).
+        """
+        registry = get_registry()
+        with registry.span("online.emit"):
+            return self._emit_instrumented(upto_row, registry)
+
+    def _emit_instrumented(
+        self, upto_row: int, registry
+    ) -> List[Violation]:
         history_start = max(0, self._next_emit_row - self._history_rows)
         t0 = self._start_time
         view_start = t0 + history_start * self.period
@@ -254,6 +269,13 @@ class OnlineMonitor:
 
         emit_lo = self._next_emit_row - history_start  # view-relative
         emit_hi = upto_row - history_start
+        emitted_rows = upto_row - self._next_emit_row + 1
+        registry.counter("online.chunks").inc()
+        registry.histogram("online.chunk_rows").observe(emitted_rows)
+        registry.counter("online.rows_emitted").inc(emitted_rows)
+        registry.counter("online.rows_reevaluated").inc(
+            max(view.n_rows - emitted_rows, 0)
+        )
         fresh: List[Violation] = []
         for rule in self.rules:
             fresh.extend(
@@ -280,6 +302,7 @@ class OnlineMonitor:
         # Drop events that can no longer influence any future chunk.
         keep_from = t0 + next_history_start * self.period
         self._buffer = self._buffer.sliced(keep_from, math.inf, name="online")
+        registry.gauge("online.buffer_events").set(self._buffer.update_count())
         return fresh
 
     def _emit_rule(

@@ -1,0 +1,40 @@
+"""Campaign observability — counters, gauges, histograms, spans.
+
+The instrumentation layer behind ``table1 --metrics-out`` and
+``check --metrics-out``: hot paths report into the *currently installed*
+:class:`MetricsRegistry` (a no-op by default), worker processes snapshot
+their private registries, and snapshots merge associatively into one
+campaign-level report.  See :mod:`repro.obs.metrics` for the instruments
+and :mod:`repro.obs.schema` for the JSON snapshot format.
+"""
+
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Span,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.schema import require_valid_snapshot, validate_snapshot
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "require_valid_snapshot",
+    "validate_snapshot",
+]

@@ -27,6 +27,7 @@ from repro.errors import InjectionError
 from repro.hil.simulator import HilSimulator
 from repro.hil.typecheck import HIL_PROFILE, InjectionTypeChecker
 from repro.logs.trace import Trace
+from repro.obs import get_registry
 from repro.rules.safety_rules import RULE_IDS, paper_rules
 from repro.testing.ballista import ballista_values
 from repro.testing.bitflip import (
@@ -195,25 +196,45 @@ class RobustnessCampaign:
         )
 
     def run_test(self, test: InjectionTest) -> TestOutcome:
-        """Run one injection test on a fresh testbench."""
-        derived_seed = self._derive_seed(test.label)
-        rng = np.random.default_rng(derived_seed)
-        simulator = HilSimulator(
-            scenario=steady_follow(duration=self.scenario_duration(test)),
-            checker=self.checker,
-            seed=derived_seed,
-            trace_name=test.label,
-        )
-        simulator.run_for(self.settle_time)
-        plan = self._injection_plan(test, simulator, rng)
-        for apply_injection in plan:
-            apply_injection(simulator)
-            simulator.run_for(self.hold_time)
-            simulator.injection.clear_all()
-            simulator.run_for(self.gap_time)
-        result = simulator.result()
-        report = self.make_monitor().check(result.trace)
+        """Run one injection test on a fresh testbench.
+
+        With a metrics registry installed (see :mod:`repro.obs`), each
+        phase reports its wall time — ``campaign.sim`` (simulator
+        stepping), ``campaign.inject`` (building/applying injections),
+        ``campaign.check`` (the monitor pass) — plus per-test rejection
+        and collision counters.  The instruments never touch the RNG, so
+        the letters are identical with metrics on or off.
+        """
+        registry = get_registry()
+        registry.counter("campaign.tests").inc()
+        with registry.span("campaign.test"):
+            derived_seed = self._derive_seed(test.label)
+            rng = np.random.default_rng(derived_seed)
+            simulator = HilSimulator(
+                scenario=steady_follow(duration=self.scenario_duration(test)),
+                checker=self.checker,
+                seed=derived_seed,
+                trace_name=test.label,
+            )
+            with registry.span("campaign.sim"):
+                simulator.run_for(self.settle_time)
+            with registry.span("campaign.inject"):
+                plan = self._injection_plan(test, simulator, rng)
+            for apply_injection in plan:
+                with registry.span("campaign.inject"):
+                    apply_injection(simulator)
+                registry.counter("campaign.injections").inc()
+                with registry.span("campaign.sim"):
+                    simulator.run_for(self.hold_time)
+                simulator.injection.clear_all()
+                with registry.span("campaign.sim"):
+                    simulator.run_for(self.gap_time)
+            result = simulator.result()
+            with registry.span("campaign.check"):
+                report = self.make_monitor().check(result.trace)
         letters = {rule_id: report.letter(rule_id) for rule_id in RULE_IDS}
+        registry.counter("campaign.rejections").inc(result.injection_rejections)
+        registry.counter("campaign.collisions").inc(result.collisions)
         return TestOutcome(
             test=test,
             report=report,

@@ -16,6 +16,14 @@ sequential path does.  Only the finished
 rejection counts) crosses back over the process boundary; full traces
 and reports never do, which keeps the result payload small and is why
 ``keep_traces`` campaigns must run sequentially.
+
+Observability: when the *submitting* process has a metrics registry
+installed (see :mod:`repro.obs`), each worker runs its test under a
+fresh private registry and pickles its snapshot back alongside the
+:class:`~repro.testing.results.TableRow`.  The parent merges the
+snapshots as rows complete; histogram merging is associative, so the
+campaign-level totals are independent of completion order and equal to
+a sequential run's counters.
 """
 
 from __future__ import annotations
@@ -23,8 +31,9 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import MetricsRegistry, get_registry, use_registry
 from repro.testing.campaign import (
     InjectionTest,
     RobustnessCampaign,
@@ -36,21 +45,34 @@ from repro.testing.results import Table1, TableRow
 #: completion order — NOT paper order.
 ParallelProgress = Callable[[InjectionTest, TableRow], None]
 
+#: What one worker sends back: the row, plus its registry snapshot when
+#: the parent asked for metrics (``None`` otherwise).
+WorkerResult = Tuple[TableRow, Optional[Dict[str, object]]]
+
 #: Per-process campaign, installed by the pool initializer.
 _WORKER_CAMPAIGN: Optional[RobustnessCampaign] = None
 
+#: Whether this worker should collect metrics for each test.
+_WORKER_COLLECT_METRICS = False
 
-def _init_worker(payload: bytes) -> None:
+
+def _init_worker(payload: bytes, collect_metrics: bool = False) -> None:
     """Pool initializer: unpickle the campaign once per worker."""
-    global _WORKER_CAMPAIGN
+    global _WORKER_CAMPAIGN, _WORKER_COLLECT_METRICS
     _WORKER_CAMPAIGN = pickle.loads(payload)
+    _WORKER_COLLECT_METRICS = collect_metrics
 
 
-def _run_one(test: InjectionTest) -> TableRow:
-    """Run one test in the worker and return its (small) table row."""
+def _run_one(test: InjectionTest) -> WorkerResult:
+    """Run one test in the worker; return its (small) row and metrics."""
     if _WORKER_CAMPAIGN is None:
         raise RuntimeError("worker process was not initialized")
-    return _WORKER_CAMPAIGN.run_test(test).to_row()
+    if not _WORKER_COLLECT_METRICS:
+        return _WORKER_CAMPAIGN.run_test(test).to_row(), None
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        row = _WORKER_CAMPAIGN.run_test(test).to_row()
+    return row, registry.snapshot()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -101,12 +123,16 @@ def run_table1_parallel(
             adapted = lambda test, outcome: progress(test, outcome.to_row())
         return campaign.run_table1(tests=test_list, progress=adapted, jobs=1)
 
+    # Collect per-worker metrics only when the caller is observing.
+    parent_registry = get_registry()
+    collect_metrics = parent_registry.enabled
+
     payload = _pickled_campaign(campaign)
     rows: List[Optional[TableRow]] = [None] * len(test_list)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(payload,),
+        initargs=(payload, collect_metrics),
     ) as pool:
         futures = {
             pool.submit(_run_one, test): index
@@ -114,8 +140,10 @@ def run_table1_parallel(
         }
         for future in as_completed(futures):
             index = futures[future]
-            row = future.result()
+            row, snapshot = future.result()
             rows[index] = row
+            if snapshot is not None:
+                parent_registry.merge_snapshot(snapshot)
             if progress is not None:
                 progress(test_list[index], row)
     return Table1(rows=[row for row in rows if row is not None])

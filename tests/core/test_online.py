@@ -24,10 +24,14 @@ from repro.errors import TraceError
 PERIOD = 0.02
 
 
-def compare(rules, trace, machines=(), min_chunk_rows=7):
+def compare(rules, trace, machines=(), min_chunk_rows=7, retention=1.0):
     offline = Monitor(rules, machines=machines, period=PERIOD).check(trace)
     online = OnlineMonitor(
-        rules, machines=machines, period=PERIOD, min_chunk_rows=min_chunk_rows
+        rules,
+        machines=machines,
+        period=PERIOD,
+        min_chunk_rows=min_chunk_rows,
+        retention=retention,
     )
     online.feed_trace(trace)
     report = online.finish()
@@ -158,6 +162,88 @@ class TestEquivalence:
             }
         )
         assert_equivalent(*compare(rules, trace, min_chunk_rows=chunk))
+
+
+#: Filter-free rule pool for the differential fuzz harness: every
+#: operator family the online monitor must keep equivalent to offline
+#: evaluation (propositional, gated, future- and past-bounded temporal,
+#: next, freshness-aware deltas).
+FUZZ_RULE_POOL = (
+    ("prop", dict(formula="x > 0")),
+    ("gated", dict(formula="x > -1", gate="g")),
+    ("settle", dict(formula="x > -2", gate="g", initial_settle=0.1)),
+    ("event", dict(formula="x < 0 -> eventually[0, 120ms] y > 0")),
+    ("alw", dict(formula="always[0, 80ms] x > -3")),
+    ("nxt", dict(formula="y > 1 -> next y >= 0")),
+    ("once", dict(formula="x > 2 -> once[0, 200ms] y > 0")),
+    ("hist", dict(formula="historically[0, 60ms] x >= -4")),
+    ("delta", dict(formula="not rising(x, 6)")),
+)
+
+
+class TestDifferentialFuzz:
+    """Seed-pinned differential harness: randomized traces, rule subsets,
+    chunk sizes, and retention windows — online must equal offline for
+    every draw.  Seeds are fixed so CI failures reproduce exactly."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_trace_and_chunking(self, seed):
+        rng = np.random.default_rng(9000 + seed)
+        n_rows = int(rng.integers(40, 220))
+        trace = uniform_trace(
+            {
+                "x": [float(v) for v in rng.integers(-4, 5, n_rows)],
+                "y": [float(v) for v in rng.integers(-2, 3, n_rows)],
+                "g": [float(v) for v in rng.integers(0, 2, n_rows)],
+            }
+        )
+        n_rules = int(rng.integers(2, len(FUZZ_RULE_POOL) + 1))
+        picks = rng.choice(len(FUZZ_RULE_POOL), size=n_rules, replace=False)
+        rules = [
+            Rule.from_text(FUZZ_RULE_POOL[i][0], "fuzz", **FUZZ_RULE_POOL[i][1])
+            for i in sorted(picks)
+        ]
+        chunk = int(rng.integers(1, 61))
+        retention = float(rng.uniform(0.05, 2.5))
+        assert_equivalent(
+            *compare(rules, trace, min_chunk_rows=chunk, retention=retention)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_multirate_trace(self, seed):
+        """Same property with a slow signal riding a fast clock — the
+        resampling/freshness path must also chunk transparently."""
+        rng = np.random.default_rng(7700 + seed)
+        n_fast = int(rng.integers(60, 200))
+        n_slow = max(n_fast // 4, 2)
+        trace = multirate_trace(
+            {"x": [float(v) for v in rng.integers(-4, 5, n_fast)]},
+            {"s": [float(v) for v in rng.integers(0, 9, n_slow)]},
+        )
+        rules = [
+            Rule.from_text("r0", "n", "not rising(s, 5)"),
+            Rule.from_text("r1", "n", "s > 7 -> eventually[0, 160ms] x > 0"),
+        ]
+        chunk = int(rng.integers(1, 41))
+        retention = float(rng.uniform(0.1, 2.0))
+        assert_equivalent(
+            *compare(rules, trace, min_chunk_rows=chunk, retention=retention)
+        )
+
+    def test_tiny_retention_is_raised_to_a_safe_floor(self):
+        """A retention window smaller than the rules' past reach must not
+        break equivalence — the monitor widens it automatically."""
+        rule = Rule.from_text("r", "n", "x > 1 -> once[0, 400ms] y > 0")
+        rng = np.random.default_rng(123)
+        trace = uniform_trace(
+            {
+                "x": [float(v) for v in rng.integers(-2, 3, 150)],
+                "y": [float(v) for v in rng.integers(-1, 2, 150)],
+            }
+        )
+        assert_equivalent(
+            *compare([rule], trace, min_chunk_rows=3, retention=0.01)
+        )
 
 
 class TestStreamingBehaviour:

@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import validate_snapshot
 
 
 class TestRulesCommand:
@@ -113,6 +116,107 @@ class TestTable1Command:
                 "--strict", "--profile", "vehicle"] + FAST_TABLE1
         assert main(argv) == 0
         capsys.readouterr()
+
+
+class TestStreamDiscipline:
+    """Progress goes to stderr; piped stdout carries only the results."""
+
+    def test_table1_progress_on_stderr_table_on_stdout(self, tmp_path, capsys):
+        out_file = tmp_path / "t.txt"
+        argv = ["table1", "--seed", "11", "--limit", "2",
+                "--out", str(out_file)] + FAST_TABLE1
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        # Progress rows and the file notice stream to stderr...
+        assert "Random Velocity" in captured.err
+        assert "table written to" in captured.err
+        # ...while stdout is exactly the table + shape summary.
+        assert "table written to" not in captured.out
+        assert captured.out.strip() == out_file.read_text().strip()
+
+    def test_reproduce_progress_on_stderr(self, capsys, monkeypatch):
+        import repro.testing.reproducer as reproducer
+
+        # Stub the heavy campaign: this test is about the streams only.
+        def fake_reproduce(seed, quick, progress, jobs):
+            progress("table1", "Random Velocity")
+
+            class Result:
+                ok = True
+
+                def report(self):
+                    return "REPRODUCTION REPORT (stub)"
+
+            return Result()
+
+        monkeypatch.setattr(reproducer, "reproduce", fake_reproduce)
+        assert main(["reproduce", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "[table1] Random Velocity" in captured.err
+        assert "[table1]" not in captured.out
+        assert "REPRODUCTION REPORT" in captured.out
+
+
+class TestMetricsOut:
+    def test_table1_metrics_snapshot_is_schema_valid(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        argv = ["table1", "--seed", "11", "--limit", "2",
+                "--metrics-out", str(metrics_file)] + FAST_TABLE1
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        snapshot = json.loads(metrics_file.read_text())
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["counters"]["campaign.tests"] == 2
+        assert any(
+            name.startswith("monitor.rule.") for name in snapshot["histograms"]
+        )
+        # The human summary goes to stderr, never stdout.
+        assert "campaign.tests" in captured.err
+        assert "campaign.tests" not in captured.out
+
+    def test_parallel_metrics_match_and_letters_byte_identical(
+        self, tmp_path, capsys
+    ):
+        """The acceptance criterion: a parallel metrics-on run emits a
+        schema-valid snapshot merged across workers while its table
+        stays byte-identical to a metrics-off sequential run."""
+        plain_file = tmp_path / "plain.txt"
+        metrics_table = tmp_path / "metered.txt"
+        metrics_file = tmp_path / "metrics.json"
+        argv = ["table1", "--seed", "11", "--limit", "3"] + FAST_TABLE1
+        assert main(argv + ["--out", str(plain_file)]) == 0
+        assert main(
+            argv
+            + ["--jobs", "4", "--out", str(metrics_table),
+               "--metrics-out", str(metrics_file)]
+        ) == 0
+        capsys.readouterr()
+        assert metrics_table.read_bytes() == plain_file.read_bytes()
+        snapshot = json.loads(metrics_file.read_text())
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["counters"]["campaign.tests"] == 3
+        assert snapshot["histograms"]["campaign.test.seconds"]["count"] == 3
+        for phase in ("sim", "inject", "check"):
+            assert "campaign.%s.seconds" % phase in snapshot["histograms"]
+
+    def test_check_metrics_out(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.csv"
+        metrics_file = tmp_path / "m.json"
+        main(["simulate", "steady_follow", "--duration", "12",
+              "--out", str(trace_file)])
+        capsys.readouterr()
+        assert main(
+            ["check", str(trace_file), "--metrics-out", str(metrics_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        snapshot = json.loads(metrics_file.read_text())
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["counters"]["monitor.checks"] == 1
+        assert any(
+            name.startswith("eval.formula.") for name in snapshot["histograms"]
+        )
+        assert "metrics snapshot written" in captured.err
+        assert "PASS" in captured.out
 
 
 class TestDriveCommand:

@@ -11,6 +11,7 @@ import pickle
 
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry, validate_snapshot
 from repro.testing.campaign import RobustnessCampaign, single_signal_tests
 from repro.testing.parallel import resolve_jobs, run_table1_parallel
 
@@ -86,6 +87,78 @@ class TestParallelMatchesSequential:
         )
         for _, letters in seen:
             assert set(letters.values()) <= {"S", "V"}
+
+
+class TestMetricsAcrossWorkers:
+    """Observability must not perturb the campaign, and worker-merged
+    metric totals must equal a sequential run's."""
+
+    def run_with_metrics(self, jobs):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            table = quick_campaign().run_table1(tests=SUBSET, jobs=jobs)
+        return table, registry
+
+    def test_metrics_on_does_not_change_the_letters(self):
+        plain = quick_campaign().run_table1(tests=SUBSET)
+        metered, _ = self.run_with_metrics(jobs=1)
+        assert metered.format() == plain.format()
+
+    def test_jobs1_and_jobs4_counter_totals_match(self):
+        seq_table, seq_registry = self.run_with_metrics(jobs=1)
+        par_table, par_registry = self.run_with_metrics(jobs=4)
+        assert par_table.format() == seq_table.format()
+        seq_snapshot = seq_registry.snapshot()
+        par_snapshot = par_registry.snapshot()
+        assert validate_snapshot(seq_snapshot) == []
+        assert validate_snapshot(par_snapshot) == []
+        # Counter sums are exactly mergeable-equal across worker counts.
+        assert par_snapshot["counters"] == seq_snapshot["counters"]
+        assert par_snapshot["counters"]["campaign.tests"] == len(SUBSET)
+        # Histogram *timings* differ run to run, but the number of
+        # observations per instrument is determined by the workload.
+        seq_counts = {
+            name: dump["count"]
+            for name, dump in seq_snapshot["histograms"].items()
+        }
+        par_counts = {
+            name: dump["count"]
+            for name, dump in par_snapshot["histograms"].items()
+        }
+        assert par_counts == seq_counts
+        assert par_counts["campaign.test.seconds"] == len(SUBSET)
+
+    def test_worker_snapshot_merge_is_order_independent(self):
+        """Merging per-worker snapshots is associative/commutative, so
+        completion order cannot change the campaign-level report."""
+        registries = []
+        for test in SUBSET[:3]:
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                quick_campaign().run_test(test)
+            registries.append(registry)
+        snapshots = [registry.snapshot() for registry in registries]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            forward.merge_snapshot(snapshot)
+        for snapshot in reversed(snapshots):
+            backward.merge_snapshot(snapshot)
+        fwd, bwd = forward.snapshot(), backward.snapshot()
+        assert fwd["counters"] == bwd["counters"]
+        assert set(fwd["histograms"]) == set(bwd["histograms"])
+        for name, dump in fwd["histograms"].items():
+            other = bwd["histograms"][name]
+            # Bucket counts and extrema merge exactly; float sums only
+            # up to addition reordering.
+            assert dump["buckets"] == other["buckets"]
+            assert dump["count"] == other["count"]
+            assert dump["min"] == other["min"]
+            assert dump["max"] == other["max"]
+            assert dump["sum"] == pytest.approx(other["sum"])
+
+    def test_metrics_off_means_workers_send_no_snapshots(self):
+        table = run_table1_parallel(quick_campaign(), tests=SUBSET[:2], jobs=2)
+        assert len(table.rows) == 2  # and no registry was needed anywhere
 
 
 class TestParallelEdgeCases:
