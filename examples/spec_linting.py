@@ -1,0 +1,78 @@
+"""Static analysis (speclint) over the specification language.
+
+The paper's workflow writes and iteratively relaxes rules by hand; its
+§V lessons (multi-rate sampling, warm-up after discrete jumps) are spec
+mistakes traditionally found only after an expensive campaign.  This
+example lints a deliberately flawed specification and shows every class
+of finding caught *before* a single simulation step:
+
+* a misspelled signal name (resolved against the CAN database),
+* a comparison dead against the signal's physical DBC range,
+* a temporal window narrower than the signal's broadcast period
+  (the §V-C1 multi-rate hazard),
+* a history function without a settle/warm-up window (§V-C2),
+* an unreachable state machine state.
+
+Run:  python examples/spec_linting.py
+"""
+
+from repro.analysis import Severity, lint_specs
+from repro.can import fsracc_database
+from repro.core import loads_specs
+
+FLAWED_SPEC = """
+# A specification with one of every common mistake.
+
+[rule typo]
+formula = Velocty > 0
+
+[rule dead_range]
+formula = BrakeRequested -> Velocity < 500
+
+[rule multirate]
+formula = eventually[0, 50ms] rising(RequestedTorque)
+settle = 500ms
+
+[rule no_warmup]
+formula = delta(Velocity) < 10
+
+[machine acc]
+states = idle, engaged, fault
+initial = idle
+transition = idle -> engaged : ACCEnabled
+transition = engaged -> idle : not ACCEnabled
+"""
+
+
+def main():
+    specs = loads_specs(FLAWED_SPEC)
+    diagnostics = lint_specs(specs, database=fsracc_database())
+
+    print("linting a deliberately flawed spec:")
+    print()
+    for diagnostic in diagnostics:
+        print("  %s" % diagnostic.format())
+    print()
+
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
+    print(
+        "found %d error(s) and %d warning(s) without running anything"
+        % (len(errors), len(warnings))
+    )
+
+    # The bundled paper rules, by contrast, are lint-clean: zero errors.
+    from repro.rules import paper_specset
+
+    for variant in (False, True):
+        findings = lint_specs(paper_specset(variant), database=fsracc_database())
+        label = "relaxed" if variant else "strict"
+        assert not any(d.severity is Severity.ERROR for d in findings)
+        print(
+            "paper rules (%s): %d finding(s), none errors"
+            % (label, len(findings))
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""``repro.analysis`` — static analysis ("speclint") for the monitor
+specification language.
+
+The paper's workflow has experts writing and iteratively relaxing safety
+rules; its §V challenges (multi-rate sampling, warm-up after discrete
+jumps, intent approximation) are mistakes made *in the spec text* and
+traditionally discovered only after an expensive campaign run.  This
+package catches them statically — resolving signal references against
+the CAN database, folding constants through DBC physical ranges, and
+inspecting temporal bounds against broadcast periods — before a single
+simulation step.
+
+Entry points:
+
+* :func:`lint_rules` / :func:`lint_specs` / :func:`lint_file` — run
+  every check, returning sorted :class:`Diagnostic` findings;
+* ``repro lint`` — the CLI wrapper (text or JSON output, exit code
+  gated on error-level findings);
+* ``strict=True`` on :class:`repro.core.monitor.Monitor` construction
+  and :func:`repro.core.specfile.load_specs` — reject error findings at
+  load time.
+
+See :data:`repro.analysis.catalog.CATALOG` for every diagnostic code.
+"""
+
+from repro.analysis.analyzer import (
+    build_context,
+    database_env,
+    lint_file,
+    lint_rules,
+    lint_specs,
+)
+from repro.analysis.catalog import CATALOG, CatalogEntry, make_diagnostic
+from repro.analysis.checks import LintContext, formula_status
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.analysis.intervals import (
+    ALWAYS,
+    MAYBE,
+    NEVER,
+    Interval,
+    compare,
+    expr_interval,
+)
+from repro.analysis.schema import (
+    SCHEMA_VERSION,
+    build_report,
+    require_valid_report,
+    validate_report,
+)
+
+__all__ = [
+    "ALWAYS",
+    "CATALOG",
+    "CatalogEntry",
+    "Diagnostic",
+    "Interval",
+    "LintContext",
+    "MAYBE",
+    "NEVER",
+    "SCHEMA_VERSION",
+    "Severity",
+    "build_context",
+    "build_report",
+    "compare",
+    "count_by_severity",
+    "database_env",
+    "expr_interval",
+    "formula_status",
+    "has_errors",
+    "lint_file",
+    "lint_rules",
+    "lint_specs",
+    "make_diagnostic",
+    "require_valid_report",
+    "sort_diagnostics",
+    "validate_report",
+]

@@ -1,0 +1,266 @@
+"""The diagnostic-code catalog — every check the analyzer can report.
+
+One :class:`CatalogEntry` per stable code.  Checks build diagnostics
+through :func:`make_diagnostic`, which looks the severity up here, so a
+code's severity cannot drift between the implementation, the docs, and
+the CLI.  The DESIGN.md catalog table is kept in sync by a test that
+asserts every code below appears there.
+
+Code blocks:
+
+* ``SL1xx`` — name resolution and typing (signals, machines, states);
+* ``SL2xx`` — temporal bounds;
+* ``SL3xx`` — constant folding / interval analysis (static vacuity);
+* ``SL4xx`` — multi-rate sampling hazards (§V-C1);
+* ``SL5xx`` — warm-up hazards (§V-C2);
+* ``SL6xx`` — state-machine structure;
+* ``SL7xx`` — spec-set level (duplicates, shadowing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Reference data for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    meaning: str
+    example: str
+
+
+def _entry(
+    code: str, severity: Severity, title: str, meaning: str, example: str
+) -> CatalogEntry:
+    return CatalogEntry(code, severity, title, meaning, example)
+
+
+#: Every diagnostic code the analyzer can emit, keyed by code.
+CATALOG: Dict[str, CatalogEntry] = {
+    entry.code: entry
+    for entry in (
+        _entry(
+            "SL101",
+            Severity.ERROR,
+            "undefined signal",
+            "A formula, gate, warm-up trigger, filter expression, or "
+            "machine guard references a signal the CAN database does not "
+            "define; the monitor would raise at evaluation time, after "
+            "the campaign already ran.",
+            "formula = Velocty > 10 (misspelling Velocity)",
+        ),
+        _entry(
+            "SL102",
+            Severity.ERROR,
+            "unknown state machine",
+            "in_state() names a machine the specification does not "
+            "define.",
+            "in_state(cruise, engaged) with only [machine acc] defined",
+        ),
+        _entry(
+            "SL103",
+            Severity.ERROR,
+            "unknown machine state",
+            "in_state() names a state its machine does not declare.",
+            "in_state(acc, enganged) (misspelling engaged)",
+        ),
+        _entry(
+            "SL110",
+            Severity.WARNING,
+            "numeric signal as boolean atom",
+            "A float or enum signal is used as a bare boolean atom; it "
+            "reads as 'nonzero', which is rarely the intended predicate "
+            "for a continuous quantity.",
+            "TargetRange -> BrakeRequested (meant TargetRange > 0)",
+        ),
+        _entry(
+            "SL111",
+            Severity.WARNING,
+            "boolean signal in arithmetic",
+            "A boolean signal is used in arithmetic, ordered with "
+            "</<=/>/>=, or compared against a constant outside {0, 1}; "
+            "boolean atoms or ==/!= 0/1 comparisons are what the "
+            "three-valued semantics expect.",
+            "BrakeRequested > 2, or Velocity + ACCEnabled",
+        ),
+        _entry(
+            "SL201",
+            Severity.ERROR,
+            "malformed temporal bound",
+            "A temporal operator's [lo, hi] bound is inverted, negative, "
+            "or not finite; the window selects no meaningful rows.  (The "
+            "parser rejects these in text; the check also covers "
+            "programmatically built ASTs.)",
+            "always[5, 1] x > 0",
+        ),
+        _entry(
+            "SL202",
+            Severity.WARNING,
+            "zero-width temporal bound",
+            "A temporal operator's bound has lo == hi, so the window is "
+            "a single row — always[t, t] and eventually[t, t] coincide, "
+            "and [0, 0] makes the operator a no-op.",
+            "eventually[0, 0] x > 0",
+        ),
+        _entry(
+            "SL301",
+            Severity.WARNING,
+            "comparison always true",
+            "Interval analysis against the CAN database's physical "
+            "ranges shows a comparison holds for every in-range value; "
+            "it contributes nothing (only out-of-range injected values "
+            "could falsify it).",
+            "Velocity < 500 with Velocity in [-10, 120]",
+        ),
+        _entry(
+            "SL302",
+            Severity.WARNING,
+            "comparison always false",
+            "Interval analysis shows a comparison can never hold for "
+            "in-range values.",
+            "SelHeadway > 5 with SelHeadway in [1, 3]",
+        ),
+        _entry(
+            "SL303",
+            Severity.ERROR,
+            "unsatisfiable gate",
+            "A rule's gate can never be true for in-range values: the "
+            "rule is statically vacuous and would silently pass every "
+            "campaign — the costliest spec bug the paper's workflow can "
+            "hit.",
+            "gate = ACCEnabled and Velocity > 200",
+        ),
+        _entry(
+            "SL304",
+            Severity.WARNING,
+            "vacuous implication",
+            "The antecedent of an implication can never hold for "
+            "in-range values, so the formula is vacuously satisfied "
+            "everywhere.",
+            "formula = Velocity > 200 -> BrakeRequested",
+        ),
+        _entry(
+            "SL305",
+            Severity.INFO,
+            "gate always true",
+            "A rule's gate holds for every in-range value — it gates "
+            "nothing and can be dropped.",
+            "gate = Velocity < 500",
+        ),
+        _entry(
+            "SL401",
+            Severity.WARNING,
+            "window narrower than broadcast period",
+            "A temporal bound spans less time than the broadcast period "
+            "of a signal inside it: the window can close before a single "
+            "fresh sample arrives, the §V-C1 multi-rate trap.",
+            "eventually[0, 50ms] rising(RequestedTorque) with an 80 ms "
+            "broadcast period",
+        ),
+        _entry(
+            "SL402",
+            Severity.WARNING,
+            "naive difference on a slow signal",
+            "delta_naive() differences consecutive held rows of a signal "
+            "broadcast slower than the monitor period; between updates "
+            "the difference is always zero and at updates it collapses "
+            "several cycles of change into one row (§V-C1).",
+            "delta_naive(RequestedTorque) at a 20 ms monitor period",
+        ),
+        _entry(
+            "SL403",
+            Severity.INFO,
+            "slow-signal difference without fresh() guard",
+            "delta()/prev() on a signal broadcast slower than the "
+            "monitor period, with no fresh() guard in the rule: values "
+            "are held between updates, so the difference repeats on "
+            "every held row and a violation can be counted for several "
+            "rows per actual sample.",
+            "not rising(RequestedTorque) without fresh(RequestedTorque)",
+        ),
+        _entry(
+            "SL501",
+            Severity.WARNING,
+            "history before any settle/warmup",
+            "The rule differences or looks back at a signal (prev, "
+            "delta, rate) but declares neither an initial settle window "
+            "nor a warm-up trigger, so the check runs on power-on "
+            "transients and discrete activation jumps (§V-C2).",
+            "formula = rate(TargetRange) < 10 with no settle/warmup key",
+        ),
+        _entry(
+            "SL601",
+            Severity.WARNING,
+            "unreachable state",
+            "A declared machine state cannot be reached from the initial "
+            "state by any chain of transitions; in_state() atoms naming "
+            "it are statically false.",
+            "states = idle, engaged, lost with no transition into lost",
+        ),
+        _entry(
+            "SL602",
+            Severity.WARNING,
+            "duplicate transition guard",
+            "Two transitions out of the same state carry identical "
+            "guards; transitions are tried in declaration order, so the "
+            "second can never fire.",
+            "two 'idle -> x : ACCEnabled' transitions",
+        ),
+        _entry(
+            "SL603",
+            Severity.WARNING,
+            "statically constant transition guard",
+            "A transition guard is statically always true (shadowing "
+            "every later transition out of that state) or never true "
+            "(the transition is dead).",
+            "transition = idle -> engaged : Velocity < 500",
+        ),
+        _entry(
+            "SL701",
+            Severity.ERROR,
+            "duplicate rule id / machine name",
+            "Two rules share an id, or two machines share a name, in one "
+            "spec set; the monitor would reject the set at construction.",
+            "two [rule rule5] sections merged from different files",
+        ),
+        _entry(
+            "SL702",
+            Severity.WARNING,
+            "duplicate rule body",
+            "Two rules evaluate the same effective formula (gate folded "
+            "in): one shadows the other in reports and doubles its cost.",
+            "a gated rule repeated with the same gate and formula",
+        ),
+    )
+}
+
+
+def make_diagnostic(
+    code: str,
+    subject: str,
+    message: str,
+    suggestion: str = "",
+    file: Optional[str] = None,
+    line: Optional[int] = None,
+    column: Optional[int] = None,
+) -> Diagnostic:
+    """Build a diagnostic for a cataloged code (severity comes from the
+    catalog — checks cannot disagree with the reference table)."""
+    entry = CATALOG[code]
+    return Diagnostic(
+        code=code,
+        severity=entry.severity,
+        subject=subject,
+        message=message,
+        suggestion=suggestion,
+        file=file,
+        line=line,
+        column=column,
+    )

@@ -1,0 +1,140 @@
+"""Structured diagnostics — what the static analyzer reports.
+
+Every finding is a :class:`Diagnostic` with a stable code (``SL101``,
+``SL303``, ...), a :class:`Severity`, the subject it is about (a rule id
+or machine name), a human message, and optionally a source location
+(``file:line``, threaded through from ``.rules`` section headers) and a
+suggested fix.  Stable codes let CI gate on specific findings and let
+specs grow suppression lists later without string-matching messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` findings mean the specification cannot mean what its author
+    intended (undefined signals, unsatisfiable gates); strict loading and
+    ``repro lint`` exit codes gate on them.  ``WARNING`` findings are
+    probable mistakes that still evaluate; ``INFO`` findings are
+    observations worth a look (e.g. held-sample semantics on slow
+    signals).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Ordering key: higher is more severe."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes:
+        code: stable identifier, ``SL`` + three digits (see the catalog).
+        severity: error / warning / info.
+        subject: what the finding is about — ``rule <id>``,
+            ``machine <name>``, or a spec-set-level subject.
+        message: one-line human explanation.
+        suggestion: optional actionable fix.
+        file: source file the subject came from, when known.
+        line: 1-based line of the subject's section header, when known.
+        column: 1-based column, when a finer position is known.
+    """
+
+    code: str
+    severity: Severity
+    subject: str
+    message: str
+    suggestion: str = ""
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` prefix, as much of it as is known."""
+        if self.file is None:
+            return ""
+        parts = [self.file]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+    def format(self) -> str:
+        """The canonical one-line text rendering."""
+        prefix = "%s: " % self.location if self.location else ""
+        text = "%s%s %s [%s] %s" % (
+            prefix,
+            self.severity.value,
+            self.code,
+            self.subject,
+            self.message,
+        )
+        if self.suggestion:
+            text += " (%s)" % self.suggestion
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (``repro lint --format json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def with_origin(
+        self, file: Optional[str], line: Optional[int]
+    ) -> "Diagnostic":
+        """A copy carrying a source location (origins are attached late,
+        because checks run on parsed objects that no longer know their
+        file)."""
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity,
+            subject=self.subject,
+            message=self.message,
+            suggestion=self.suggestion,
+            file=file,
+            line=line,
+            column=self.column,
+        )
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Most severe first, then by subject, then by code — a stable,
+    review-friendly order."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (-d.severity.rank, d.subject, d.code, d.message),
+    )
+
+
+def count_by_severity(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` counts."""
+    counts = {severity.value: 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.value] += 1
+    return counts
+
+
+def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    """Whether any finding is error-level (the strict/CI gate)."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)

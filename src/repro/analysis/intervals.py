@@ -1,0 +1,239 @@
+"""Interval arithmetic over spec expressions, seeded from DBC ranges.
+
+The CAN database knows every signal's physical ``minimum``/``maximum``;
+pushing those ranges through an expression gives a sound over-
+approximation of the values it can take, which is enough to decide
+whether a comparison is *always* true, *never* true, or genuinely
+contingent for in-range data.  The analysis is deliberately conservative:
+when in doubt (division through zero, unbounded trace functions) it
+answers with the full line, and the caller reports nothing.
+
+The model deliberately ignores injected out-of-range values: a
+comparison flagged "always true" can still be falsified by NaN or an
+out-of-range injection, but as *specified intent* it is dead weight —
+which is exactly what the check is after.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.ast import (
+    Binary,
+    Constant,
+    Expr,
+    SignalRef,
+    TraceFunc,
+    Unary,
+)
+
+#: Three-valued outcome of a static comparison.
+ALWAYS = "always"
+NEVER = "never"
+MAYBE = "maybe"
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; infinities mark unbounded sides."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi) or self.lo > self.hi:
+            raise ValueError("bad interval [%r, %r]" % (self.lo, self.hi))
+
+    @property
+    def bounded(self) -> bool:
+        """Whether both ends are finite."""
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the interval holds exactly one value."""
+        return self.lo == self.hi
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        return "[%g, %g]" % (self.lo, self.hi)
+
+
+#: The whole real line — the "don't know" element.
+TOP = Interval(-_INF, _INF)
+
+
+def point(value: float) -> Interval:
+    """The degenerate interval ``[value, value]``."""
+    return Interval(value, value)
+
+
+def _safe_mul(a: float, b: float) -> float:
+    # 0 * inf is 0 here: the zero factor comes from a real bound.
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def add(a: Interval, b: Interval) -> Interval:
+    """Interval sum."""
+    return Interval(a.lo + b.lo, a.hi + b.hi)
+
+
+def sub(a: Interval, b: Interval) -> Interval:
+    """Interval difference."""
+    return Interval(a.lo - b.hi, a.hi - b.lo)
+
+
+def neg(a: Interval) -> Interval:
+    """Interval negation."""
+    return Interval(-a.hi, -a.lo)
+
+
+def mul(a: Interval, b: Interval) -> Interval:
+    """Interval product."""
+    products = [
+        _safe_mul(x, y) for x in (a.lo, a.hi) for y in (b.lo, b.hi)
+    ]
+    return Interval(min(products), max(products))
+
+
+def div(a: Interval, b: Interval) -> Interval:
+    """Interval quotient; the full line when the divisor can be zero."""
+    if b.contains(0.0):
+        return TOP
+    quotients = []
+    for x in (a.lo, a.hi):
+        for y in (b.lo, b.hi):
+            if math.isinf(x) and math.isinf(y):
+                return TOP
+            quotients.append(0.0 if x == 0.0 else x / y)
+    return Interval(min(quotients), max(quotients))
+
+
+def abs_(a: Interval) -> Interval:
+    """Interval absolute value."""
+    if a.lo >= 0:
+        return a
+    if a.hi <= 0:
+        return neg(a)
+    return Interval(0.0, max(-a.lo, a.hi))
+
+
+def min_(a: Interval, b: Interval) -> Interval:
+    """Pointwise two-argument minimum."""
+    return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+
+
+def max_(a: Interval, b: Interval) -> Interval:
+    """Pointwise two-argument maximum."""
+    return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def span(a: Interval) -> Interval:
+    """Range of differences between two values of ``a`` (for ``delta``)."""
+    if not a.bounded:
+        return TOP
+    width = a.hi - a.lo
+    return Interval(-width, width)
+
+
+def expr_interval(
+    expr: Expr, env: Mapping[str, Interval]
+) -> Interval:
+    """Over-approximate the values ``expr`` can take.
+
+    ``env`` maps signal names to their physical ranges (see
+    :func:`repro.analysis.analyzer.database_env`); unknown signals are
+    unbounded.
+    """
+    if isinstance(expr, Constant):
+        if math.isnan(expr.value):
+            return TOP
+        return point(expr.value)
+    if isinstance(expr, SignalRef):
+        return env.get(expr.name, TOP)
+    if isinstance(expr, Unary):
+        inner = expr_interval(expr.operand, env)
+        if expr.op == "-":
+            return neg(inner)
+        if expr.op == "abs":
+            return abs_(inner)
+        return TOP
+    if isinstance(expr, Binary):
+        left = expr_interval(expr.left, env)
+        right = expr_interval(expr.right, env)
+        op = {
+            "+": add,
+            "-": sub,
+            "*": mul,
+            "/": div,
+            "min": min_,
+            "max": max_,
+        }.get(expr.op)
+        return op(left, right) if op else TOP
+    if isinstance(expr, TraceFunc):
+        base = env.get(expr.signal, TOP)
+        if expr.kind == "prev":
+            return base
+        if expr.kind in ("delta", "delta_naive"):
+            return span(base)
+        if expr.kind == "age":
+            return Interval(0.0, _INF)
+        # rate depends on inter-sample timing; stay conservative.
+        return TOP
+    return TOP
+
+
+def compare(op: str, left: Interval, right: Interval) -> str:
+    """Decide a comparison statically: ALWAYS, NEVER, or MAYBE.
+
+    Sound for in-range, non-NaN data: ALWAYS/NEVER are only returned
+    when every pair of values from the two intervals agrees.
+    """
+    if op == ">":
+        return compare("<", right, left)
+    if op == ">=":
+        return compare("<=", right, left)
+    if op == "<":
+        if left.hi < right.lo:
+            return ALWAYS
+        if left.lo >= right.hi:
+            return NEVER
+        return MAYBE
+    if op == "<=":
+        if left.hi <= right.lo:
+            return ALWAYS
+        if left.lo > right.hi:
+            return NEVER
+        return MAYBE
+    if op == "==":
+        if left.is_point and right.is_point and left.lo == right.lo:
+            return ALWAYS
+        if left.hi < right.lo or right.hi < left.lo:
+            return NEVER
+        return MAYBE
+    if op == "!=":
+        inverse = compare("==", left, right)
+        if inverse == ALWAYS:
+            return NEVER
+        if inverse == NEVER:
+            return ALWAYS
+        return MAYBE
+    return MAYBE
+
+
+def negate_status(status: str) -> str:
+    """Three-valued NOT over ALWAYS/NEVER/MAYBE."""
+    if status == ALWAYS:
+        return NEVER
+    if status == NEVER:
+        return ALWAYS
+    return MAYBE

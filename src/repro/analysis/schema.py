@@ -1,0 +1,161 @@
+"""The lint report JSON format — documentation and validation.
+
+``repro lint --format json`` emits one report object::
+
+    {
+      "schema": "repro.lint/v1",
+      "targets": [
+        {"name": "<paper rules | file path>",
+         "diagnostics": [{"code": "SL101", "severity": "error",
+                          "subject": "rule rule2", "message": "...",
+                          "suggestion": "", "file": null,
+                          "line": null, "column": null}, ...],
+         "counts": {"error": 0, "warning": 1, "info": 2}},
+        ...
+      ],
+      "counts": {"error": 0, "warning": 1, "info": 2}
+    }
+
+Validation is hand-rolled like :mod:`repro.obs.schema` (zero-dependency
+beyond numpy): :func:`validate_report` returns a list of problems, and
+:func:`require_valid_report` raises — the CI ``lint-specs`` job calls the
+latter over the bundled and example spec files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+)
+
+#: Identifier of the report format this module reads and writes.
+SCHEMA_VERSION = "repro.lint/v1"
+
+_SEVERITIES = tuple(severity.value for severity in Severity)
+
+
+def build_report(
+    targets: Sequence[Tuple[str, Sequence[Diagnostic]]]
+) -> Dict[str, object]:
+    """Assemble the JSON report for ``(target name, diagnostics)`` pairs."""
+    target_dumps = []
+    totals = {severity: 0 for severity in _SEVERITIES}
+    for name, diagnostics in targets:
+        counts = count_by_severity(diagnostics)
+        for severity, count in counts.items():
+            totals[severity] += count
+        target_dumps.append(
+            {
+                "name": name,
+                "diagnostics": [d.to_dict() for d in diagnostics],
+                "counts": counts,
+            }
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "targets": target_dumps,
+        "counts": totals,
+    }
+
+
+def _validate_counts(owner: str, counts: object) -> List[str]:
+    if not isinstance(counts, dict):
+        return ["%s needs a 'counts' object" % owner]
+    problems = []
+    for severity in _SEVERITIES:
+        value = counts.get(severity)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(
+                "%s count %r must be a non-negative integer" % (owner, severity)
+            )
+    return problems
+
+
+def _validate_diagnostic(owner: str, dump: object) -> List[str]:
+    if not isinstance(dump, dict):
+        return ["%s diagnostics must be objects" % owner]
+    problems = []
+    code = dump.get("code")
+    if not (isinstance(code, str) and code.startswith("SL")):
+        problems.append("%s diagnostic code %r is not an SL code" % (owner, code))
+    if dump.get("severity") not in _SEVERITIES:
+        problems.append(
+            "%s diagnostic severity %r invalid" % (owner, dump.get("severity"))
+        )
+    for key in ("subject", "message", "suggestion"):
+        if not isinstance(dump.get(key), str):
+            problems.append("%s diagnostic needs a string %r" % (owner, key))
+    for key in ("file",):
+        if dump.get(key) is not None and not isinstance(dump.get(key), str):
+            problems.append("%s diagnostic %r must be a string or null" % (owner, key))
+    for key in ("line", "column"):
+        value = dump.get(key)
+        if value is not None and (not isinstance(value, int) or isinstance(value, bool)):
+            problems.append(
+                "%s diagnostic %r must be an integer or null" % (owner, key)
+            )
+    return problems
+
+
+def validate_report(report: object) -> List[str]:
+    """All the ways ``report`` fails to be a valid lint report."""
+    if not isinstance(report, dict):
+        return ["report must be a JSON object, got %s" % type(report).__name__]
+    problems: List[str] = []
+    if report.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            "schema must be %r, got %r" % (SCHEMA_VERSION, report.get("schema"))
+        )
+    targets = report.get("targets")
+    if not isinstance(targets, list):
+        return problems + ["missing or non-array 'targets'"]
+    problems.extend(_validate_counts("report", report.get("counts")))
+    totals = {severity: 0 for severity in _SEVERITIES}
+    for target in targets:
+        if not isinstance(target, dict):
+            problems.append("targets must be objects")
+            continue
+        name = target.get("name")
+        if not isinstance(name, str):
+            problems.append("target needs a string 'name'")
+            name = "<unnamed>"
+        owner = "target %r" % name
+        diagnostics = target.get("diagnostics")
+        if not isinstance(diagnostics, list):
+            problems.append("%s needs a 'diagnostics' array" % owner)
+            diagnostics = []
+        seen = {severity: 0 for severity in _SEVERITIES}
+        for dump in diagnostics:
+            problems.extend(_validate_diagnostic(owner, dump))
+            if isinstance(dump, dict) and dump.get("severity") in seen:
+                seen[dump["severity"]] += 1
+        problems.extend(_validate_counts(owner, target.get("counts")))
+        if isinstance(target.get("counts"), dict):
+            for severity in _SEVERITIES:
+                declared = target["counts"].get(severity)
+                if isinstance(declared, int) and declared != seen[severity]:
+                    problems.append(
+                        "%s declares %r %s findings but lists %d"
+                        % (owner, declared, severity, seen[severity])
+                    )
+                totals[severity] += seen[severity]
+    if isinstance(report.get("counts"), dict) and not problems:
+        for severity in _SEVERITIES:
+            if report["counts"].get(severity) != totals[severity]:
+                problems.append(
+                    "report declares %r %s findings but targets sum to %d"
+                    % (report["counts"].get(severity), severity, totals[severity])
+                )
+    return problems
+
+
+def require_valid_report(report: object) -> Dict[str, object]:
+    """Validate and return ``report``; raise ``ValueError`` otherwise."""
+    problems = validate_report(report)
+    if problems:
+        raise ValueError("invalid lint report: %s" % "; ".join(problems))
+    return report  # type: ignore[return-value]

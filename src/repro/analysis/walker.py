@@ -1,0 +1,50 @@
+"""Generic AST traversal shared by every check.
+
+Built on the ``children()`` hook of :mod:`repro.core.ast` nodes: no
+per-class dispatch here, so new node types are walked automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple, Type, TypeVar, Union
+
+from repro.core.ast import Expr, Formula, Node
+
+N = TypeVar("N", bound=Union[Expr, Formula])
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of ``node`` and all its descendants."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children()))
+
+
+def iter_nodes(node: Node, *types: Type[N]) -> Iterator[N]:
+    """All descendants of ``node`` (including itself) of the given types."""
+    for current in walk(node):
+        if isinstance(current, tuple(types)):
+            yield current  # type: ignore[misc]
+
+
+def contains(node: Node, predicate: Callable[[Node], bool]) -> bool:
+    """Whether any descendant (including ``node``) satisfies ``predicate``."""
+    return any(predicate(current) for current in walk(node))
+
+
+def signal_uses(node: Node) -> Iterator[Tuple[str, Node]]:
+    """``(signal_name, referencing node)`` pairs across the subtree.
+
+    Unlike ``node.signals()`` this keeps the referencing node, so checks
+    can distinguish a bare boolean atom from an arithmetic reference or a
+    trace function.
+    """
+    from repro.core.ast import Fresh, SignalPredicate, SignalRef, TraceFunc
+
+    for current in walk(node):
+        if isinstance(current, (SignalRef, SignalPredicate, Fresh)):
+            yield current.name, current
+        elif isinstance(current, TraceFunc):
+            yield current.signal, current

@@ -7,6 +7,9 @@ Entry point ``repro-oracle`` with subcommands:
 * ``check`` — run the monitor over a stored trace file;
 * ``drive`` — generate the synthetic real-vehicle drive logs;
 * ``online`` — stream a stored trace through the online monitor;
+* ``lint`` — statically analyze rule specifications (the bundled paper
+  rules, or ``.rules`` files) and report diagnostics; exit code 1 when
+  any error-level finding exists (``--format json`` for tooling);
 * ``reproduce`` — regenerate the paper's core results (``--jobs N``
   fans the campaign out to worker processes);
 * ``table1`` — run the robustness campaign and print Table I
@@ -31,7 +34,8 @@ from repro.core.oracle import TestOracle
 from repro.hil.simulator import HilSimulator
 from repro.logs.format import read_trace, write_trace
 from repro.logs.vehicle_logs import generate_drive_logs
-from repro.rules.safety_rules import paper_rules
+from repro.errors import SpecError
+from repro.rules.safety_rules import paper_rules, paper_specset
 from repro.testing.campaign import (
     GAP_TIME,
     HOLD_TIME,
@@ -65,6 +69,27 @@ def _jobs_arg(value: str) -> int:
 def _progress(text: str) -> None:
     """Progress lines go to stderr so piped stdout stays clean."""
     print(text, file=sys.stderr, flush=True)
+
+
+def _load_specset(path: Optional[str], relaxed: bool = False):
+    """The spec set a subcommand works on.
+
+    ``None`` means the bundled paper rules (strict or relaxed); a path
+    loads a ``.rules`` file.  Unreadable or malformed files abort with
+    exit code 2, like argparse usage errors.
+    """
+    if path is None:
+        return paper_specset(relaxed=relaxed)
+    from repro.core.specfile import load_specs
+
+    try:
+        return load_specs(path)
+    except OSError as exc:
+        _progress("cannot read rules file %s: %s" % (path, exc))
+        raise SystemExit(2)
+    except SpecError as exc:
+        _progress("cannot parse rules file %s: %s" % (path, exc))
+        raise SystemExit(2)
 
 
 def _metrics_registry(args: argparse.Namespace):
@@ -152,7 +177,46 @@ def _build_parser() -> argparse.ArgumentParser:
     online_cmd.add_argument("trace", help="trace file written by this tool")
     online_cmd.add_argument("--relaxed", action="store_true")
     online_cmd.add_argument("--period", type=float, default=0.02)
+    online_cmd.add_argument(
+        "--rules",
+        default=None,
+        help="stream against a custom .rules file instead of the paper rules",
+    )
     online_cmd.set_defaults(handler=_cmd_online)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="statically analyze rule specifications (speclint)",
+    )
+    lint_cmd.add_argument(
+        "files",
+        nargs="*",
+        help=(
+            ".rules files to lint; with no files the bundled paper rules "
+            "are analyzed"
+        ),
+    )
+    lint_cmd.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="lint the relaxed paper-rule variants (no effect with files)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    lint_cmd.add_argument("--period", type=float, default=0.02)
+    lint_cmd.add_argument(
+        "--no-dbc",
+        action="store_true",
+        help=(
+            "lint without the FSRACC CAN database (disables signal "
+            "resolution, range, and multi-rate checks)"
+        ),
+    )
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     repro_cmd = sub.add_parser(
         "reproduce",
@@ -273,12 +337,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.obs import use_registry
 
     trace = read_trace(args.trace)
-    if args.rules:
-        from repro.core.specfile import load_specs
-
-        monitor = load_specs(args.rules).monitor(period=args.period)
-    else:
-        monitor = Monitor(paper_rules(relaxed=args.relaxed), period=args.period)
+    monitor = _load_specset(args.rules, relaxed=args.relaxed).monitor(
+        period=args.period
+    )
     oracle = TestOracle(monitor)
     registry = _metrics_registry(args)
     with use_registry(registry):
@@ -323,8 +384,9 @@ def _cmd_online(args: argparse.Namespace) -> int:
     from repro.core.online import OnlineMonitor
 
     trace = read_trace(args.trace)
+    specs = _load_specset(args.rules, relaxed=args.relaxed)
     online = OnlineMonitor(
-        paper_rules(relaxed=args.relaxed), period=args.period
+        specs.rules, machines=specs.machines, period=args.period
     )
     print(
         "streaming %d events (decision latency bound %.2f s)..."
@@ -336,6 +398,51 @@ def _cmd_online(args: argparse.Namespace) -> int:
     print()
     print(report.summary())
     return 1 if report.violated_rules() else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        build_report,
+        count_by_severity,
+        has_errors,
+        lint_specs,
+    )
+
+    database = None
+    if not args.no_dbc:
+        from repro.can.fsracc import fsracc_database
+
+        database = fsracc_database()
+
+    if args.files:
+        targets = [
+            (path, _load_specset(path, relaxed=False)) for path in args.files
+        ]
+    else:
+        variant = "relaxed" if args.relaxed else "strict"
+        targets = [("paper rules (%s)" % variant, paper_specset(args.relaxed))]
+
+    results = [
+        (name, lint_specs(specs, database=database, period=args.period))
+        for name, specs in targets
+    ]
+    failed = any(has_errors(diagnostics) for _, diagnostics in results)
+
+    if args.format == "json":
+        print(json.dumps(build_report(results), indent=2))
+        return 1 if failed else 0
+
+    for name, diagnostics in results:
+        counts = count_by_severity(diagnostics)
+        print(
+            "%s: %d error(s), %d warning(s), %d info"
+            % (name, counts["error"], counts["warning"], counts["info"])
+        )
+        for diagnostic in diagnostics:
+            print("  %s" % diagnostic.format())
+    if failed:
+        print("\nlint failed: error-level findings present")
+    return 1 if failed else 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:

@@ -61,6 +61,7 @@ from repro.core.resampler import (
     update_interval_histogram,
 )
 from repro.core.specfile import (
+    SpecOrigin,
     SpecSet,
     dump_specs,
     dumps_specs,
@@ -113,6 +114,7 @@ __all__ = [
     "Severity",
     "SignalPredicate",
     "SignalRef",
+    "SpecOrigin",
     "SpecSet",
     "StateMachine",
     "TestOracle",

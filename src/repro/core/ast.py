@@ -16,8 +16,23 @@ Two node families exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Tuple, Union
+
+
+def _node_children(node: object) -> Tuple["Node", ...]:
+    """Direct child nodes of a dataclass AST node, in field order.
+
+    This is the walker hook: every node exposes its sub-expressions and
+    sub-formulas uniformly, so generic traversals (the static analyzer's
+    visitor, pretty-printers, metrics) need no per-class dispatch.
+    """
+    return tuple(
+        value
+        for value in (getattr(node, f.name) for f in fields(node))
+        if isinstance(value, (Expr, Formula))
+    )
+
 
 # ----------------------------------------------------------------------
 # Expressions
@@ -30,6 +45,10 @@ class Expr:
     def signals(self) -> Tuple[str, ...]:
         """Names of all signals this expression references."""
         return ()
+
+    def children(self) -> Tuple["Node", ...]:
+        """Direct child nodes (sub-expressions), in field order."""
+        return _node_children(self)
 
 
 @dataclass(frozen=True)
@@ -132,6 +151,10 @@ class Formula:
     def has_temporal(self) -> bool:
         """Whether this formula contains a temporal operator."""
         return False
+
+    def children(self) -> Tuple["Node", ...]:
+        """Direct child nodes (operands, in field order)."""
+        return _node_children(self)
 
 
 @dataclass(frozen=True)

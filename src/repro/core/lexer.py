@@ -52,12 +52,21 @@ class Token:
     """One lexical token.
 
     ``kind`` is ``number``, ``ident``, ``keyword``, ``op`` or ``end``;
-    ``text`` is the matched source text; ``pos`` is the character offset.
+    ``text`` is the matched source text; ``pos`` is the character offset;
+    ``line``/``column`` are the 1-based source coordinates of ``pos``, so
+    errors can point at ``file:line:col`` instead of a bare offset.
     """
 
     kind: str
     text: str
     pos: int
+    line: int = 1
+    column: int = 1
+
+    @property
+    def location(self) -> str:
+        """Human-readable ``line L column C`` coordinates."""
+        return "line %d column %d" % (self.line, self.column)
 
     def __str__(self) -> str:
         if self.kind == "end":
@@ -73,11 +82,14 @@ def tokenize(source: str) -> List[Token]:
     """
     tokens: List[Token] = []
     pos = 0
+    line = 1
+    line_start = 0
     while pos < len(source):
         match = _TOKEN_RE.match(source, pos)
         if match is None:
             raise SpecError(
-                "unexpected character %r at position %d" % (source[pos], pos)
+                "unexpected character %r at position %d (line %d column %d)"
+                % (source[pos], pos, line, pos - line_start + 1)
             )
         if match.lastgroup != "ws":
             text = match.group()
@@ -85,7 +97,15 @@ def tokenize(source: str) -> List[Token]:
                 kind = "keyword" if text in KEYWORDS else "ident"
             else:
                 kind = match.lastgroup or "op"
-            tokens.append(Token(kind, text, pos))
+            tokens.append(Token(kind, text, pos, line, pos - line_start + 1))
+        else:
+            segment = match.group()
+            newlines = segment.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + segment.rindex("\n") + 1
         pos = match.end()
-    tokens.append(Token("end", "", len(source)))
+    tokens.append(
+        Token("end", "", len(source), line, len(source) - line_start + 1)
+    )
     return tokens

@@ -258,6 +258,8 @@ class Monitor:
         rules: Sequence[Rule],
         machines: Sequence[StateMachine] = (),
         period: float = DEFAULT_PERIOD,
+        strict: bool = False,
+        database=None,
     ) -> None:
         ids = [rule.rule_id for rule in rules]
         if len(set(ids)) != len(ids):
@@ -273,6 +275,28 @@ class Monitor:
                         "rule %s references undefined state machine %r"
                         % (rule.rule_id, name)
                     )
+        if strict:
+            self._require_lint_clean(database)
+
+    def _require_lint_clean(self, database) -> None:
+        """Strict mode: reject error-level static-analysis findings."""
+        from repro.analysis import Severity, lint_rules
+
+        errors = [
+            diagnostic
+            for diagnostic in lint_rules(
+                self.rules,
+                machines=self.machines,
+                database=database,
+                period=self.period,
+            )
+            if diagnostic.severity is Severity.ERROR
+        ]
+        if errors:
+            raise SpecError(
+                "monitor rules failed strict lint with %d error(s):\n%s"
+                % (len(errors), "\n".join(d.format() for d in errors))
+            )
 
     def required_signals(self) -> Tuple[str, ...]:
         """All trace signals needed by rules and machine guards."""

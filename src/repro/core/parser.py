@@ -121,8 +121,8 @@ class _Parser:
         if not self._check(kind, text):
             wanted = text if text is not None else kind
             raise SpecError(
-                "expected %s but found %s at position %d in %r"
-                % (wanted, self._current, self._current.pos, self._source)
+                "expected %s but found %s at %s in %r"
+                % (wanted, self._current, self._current.location, self._source)
             )
         return self._advance()
 
@@ -130,8 +130,8 @@ class _Parser:
         """Assert the whole input was consumed."""
         if self._current.kind != "end":
             raise SpecError(
-                "unexpected trailing input %s at position %d in %r"
-                % (self._current, self._current.pos, self._source)
+                "unexpected trailing input %s at %s in %r"
+                % (self._current, self._current.location, self._source)
             )
 
     # -- formulas --------------------------------------------------------
@@ -207,8 +207,8 @@ class _Parser:
         if self._check("ident"):
             return SignalPredicate(self._advance().text)
         raise SpecError(
-            "expected a formula at position %d in %r, found %s"
-            % (self._current.pos, self._source, self._current)
+            "expected a formula at %s in %r, found %s"
+            % (self._current.location, self._source, self._current)
         )
 
     def _trend_sugar(self) -> Formula:
@@ -232,8 +232,8 @@ class _Parser:
             right = self.expr()
             return Comparison(token.text, left, right)
         raise SpecError(
-            "expected a comparison operator at position %d in %r"
-            % (token.pos, self._source)
+            "expected a comparison operator at %s in %r"
+            % (token.location, self._source)
         )
 
     def _bounds(self) -> Tuple[float, float]:
@@ -241,8 +241,8 @@ class _Parser:
         lo = self._time()
         if not (self._accept("op", ",") or self._accept("op", ":")):
             raise SpecError(
-                "expected ',' or ':' in time bounds at position %d in %r"
-                % (self._current.pos, self._source)
+                "expected ',' or ':' in time bounds at %s in %r"
+                % (self._current.location, self._source)
             )
         hi = self._time()
         self._expect("op", "]")
@@ -319,6 +319,6 @@ class _Parser:
             self._expect("op", ")")
             return inner
         raise SpecError(
-            "expected an expression at position %d in %r, found %s"
-            % (self._current.pos, self._source, self._current)
+            "expected an expression at %s in %r, found %s"
+            % (self._current.location, self._source, self._current)
         )

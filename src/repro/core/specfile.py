@@ -55,12 +55,30 @@ PathOrFile = Union[str, TextIO]
 _SECTION_RE = re.compile(r"^\[(rule|machine)\s+([A-Za-z_][A-Za-z_0-9]*)\]$")
 
 
+@dataclass(frozen=True)
+class SpecOrigin:
+    """Where a rule or machine section starts in its source text."""
+
+    source: str
+    line: int
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.source, self.line)
+
+
 @dataclass
 class SpecSet:
-    """A loaded specification: rules plus their state machines."""
+    """A loaded specification: rules plus their state machines.
+
+    ``origins`` maps ``"rule:<id>"`` / ``"machine:<name>"`` to the
+    :class:`SpecOrigin` of the section header, so lint diagnostics and
+    error messages can point at ``file:line``.  Hand-built spec sets may
+    leave it empty.
+    """
 
     rules: List[Rule] = field(default_factory=list)
     machines: List[StateMachine] = field(default_factory=list)
+    origins: Dict[str, SpecOrigin] = field(default_factory=dict)
 
     def monitor(self, period: float = 0.02):
         """Build a monitor from this specification."""
@@ -84,17 +102,51 @@ def parse_duration(text: str) -> float:
     return value
 
 
-def load_specs(source: PathOrFile) -> SpecSet:
-    """Load a ``.rules`` file (path or file object)."""
+def load_specs(
+    source: PathOrFile,
+    strict: bool = False,
+    database=None,
+) -> SpecSet:
+    """Load a ``.rules`` file (path or file object).
+
+    With ``strict=True`` the loaded set is run through the static
+    analyzer (:mod:`repro.analysis`) and any error-level finding raises
+    :class:`~repro.errors.SpecError`.  Passing the CAN ``database``
+    enables the signal-resolution and range checks.
+    """
     if hasattr(source, "read"):
-        return _parse(source)  # type: ignore[arg-type]
-    with open(source, "r", encoding="utf-8") as handle:
-        return _parse(handle)
+        name = getattr(source, "name", "<stream>")
+        specs = _parse(source, str(name))  # type: ignore[arg-type]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            specs = _parse(handle, str(source))
+    if strict:
+        _require_lint_clean(specs, database)
+    return specs
 
 
-def loads_specs(text: str) -> SpecSet:
-    """Load a specification from a string."""
-    return _parse(io.StringIO(text))
+def loads_specs(text: str, strict: bool = False, database=None) -> SpecSet:
+    """Load a specification from a string (see :func:`load_specs`)."""
+    specs = _parse(io.StringIO(text), "<string>")
+    if strict:
+        _require_lint_clean(specs, database)
+    return specs
+
+
+def _require_lint_clean(specs: SpecSet, database) -> None:
+    """Raise :class:`SpecError` when the analyzer finds errors."""
+    from repro.analysis import Severity, lint_specs
+
+    errors = [
+        diagnostic
+        for diagnostic in lint_specs(specs, database=database)
+        if diagnostic.severity is Severity.ERROR
+    ]
+    if errors:
+        raise SpecError(
+            "specification failed strict lint with %d error(s):\n%s"
+            % (len(errors), "\n".join(d.format() for d in errors))
+        )
 
 
 def dump_specs(specs: SpecSet, destination: PathOrFile) -> None:
@@ -122,19 +174,29 @@ def dumps_specs(specs: SpecSet) -> str:
 # ----------------------------------------------------------------------
 
 
-def _parse(handle: TextIO) -> SpecSet:
+def _parse(handle: TextIO, source: str = "<string>") -> SpecSet:
     specs = SpecSet()
     section: Optional[Tuple[str, str]] = None
+    section_line = 0
     fields: Dict[str, List[str]] = {}
 
     def flush() -> None:
         if section is None:
             return
         kind, name = section
-        if kind == "rule":
-            specs.rules.append(_build_rule(name, fields))
-        else:
-            specs.machines.append(_build_machine(name, fields))
+        try:
+            if kind == "rule":
+                specs.rules.append(_build_rule(name, fields))
+            else:
+                specs.machines.append(_build_machine(name, fields))
+        except SpecError as exc:
+            raise SpecError(
+                "in [%s %s] (starting at line %d): %s"
+                % (kind, name, section_line, exc)
+            ) from None
+        specs.origins["%s:%s" % (kind, name)] = SpecOrigin(
+            source, section_line
+        )
 
     for line_number, raw in enumerate(handle, start=1):
         line = raw.strip()
@@ -144,6 +206,15 @@ def _parse(handle: TextIO) -> SpecSet:
         if match:
             flush()
             section = (match.group(1), match.group(2))
+            key = "%s:%s" % section
+            if key in specs.origins:
+                raise SpecError(
+                    "line %d: duplicate [%s %s] section (first defined at "
+                    "line %d)"
+                    % (line_number, section[0], section[1],
+                       specs.origins[key].line)
+                )
+            section_line = line_number
             fields = {}
             continue
         if section is None:

@@ -319,3 +319,14 @@ def paper_rules(relaxed: bool = False) -> List[Rule]:
 def rules_by_id(relaxed: bool = False) -> Dict[str, Rule]:
     """The Table I rules keyed by id."""
     return {rule.rule_id: rule for rule in paper_rules(relaxed)}
+
+
+def paper_specset(relaxed: bool = False):
+    """The Table I rules as a :class:`~repro.core.specfile.SpecSet`.
+
+    The shape the CLI works in: ``check``/``online``/``lint`` treat the
+    bundled rules exactly like a loaded ``.rules`` file.
+    """
+    from repro.core.specfile import SpecSet
+
+    return SpecSet(rules=paper_rules(relaxed=relaxed))

@@ -1,0 +1,163 @@
+"""End-to-end analysis: paper rules, spec files, and strict loading."""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    database_env,
+    has_errors,
+    lint_file,
+    lint_rules,
+    lint_specs,
+)
+from repro.can.fsracc import fsracc_database
+from repro.core.monitor import Monitor
+from repro.core.specfile import load_specs, loads_specs
+from repro.errors import SpecError
+from repro.rules.safety_rules import (
+    consistency_rule,
+    freshness_rule,
+    mode_machine,
+    paper_rules,
+    paper_specset,
+    rule5_modal,
+)
+
+DB = fsracc_database()
+
+
+class TestDatabaseEnv:
+    def test_bool_signals_are_unit_interval(self):
+        env = database_env(DB)
+        assert env["ACCEnabled"].lo == 0.0
+        assert env["ACCEnabled"].hi == 1.0
+
+    def test_float_signals_use_dbc_range(self):
+        env = database_env(DB)
+        velocity = env["Velocity"]
+        assert velocity.bounded
+        assert velocity.lo < velocity.hi
+
+
+class TestPaperRulesLintClean:
+    """The acceptance criterion: zero error-level findings, both variants."""
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_no_errors(self, relaxed):
+        findings = lint_rules(paper_rules(relaxed=relaxed), database=DB)
+        assert not has_errors(findings)
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_only_findings_are_the_documented_sl403_notes(self, relaxed):
+        # rules #2/#4 difference the slow RequestedTorque without a
+        # fresh() guard — deliberate (delta() is freshness-aware here),
+        # so the analyzer files it as informational, not a defect.
+        findings = lint_rules(paper_rules(relaxed=relaxed), database=DB)
+        assert [d.code for d in findings] == ["SL403", "SL403"]
+        assert {d.subject for d in findings} == {"rule rule2", "rule rule4"}
+        assert all(d.severity is Severity.INFO for d in findings)
+
+    def test_extension_rules_also_clean(self):
+        rules = paper_rules() + [
+            rule5_modal(),
+            consistency_rule(),
+            freshness_rule("RequestedTorque", 0.2),
+        ]
+        findings = lint_rules(rules, machines=[mode_machine()], database=DB)
+        assert not has_errors(findings)
+
+
+class TestSpecfileOrigins:
+    SPEC = """
+[rule good]
+formula = Velocity > 10
+settle = 500ms
+
+[rule typo]
+formula = Velocty > 10
+
+[machine acc]
+states = idle, engaged
+initial = idle
+transition = idle -> engaged : ACCEnabled
+transition = engaged -> idle : not ACCEnabled
+"""
+
+    def test_origins_recorded_per_section(self):
+        specs = loads_specs(self.SPEC)
+        assert specs.origins["rule:good"].line == 2
+        assert specs.origins["rule:typo"].line == 6
+        assert specs.origins["machine:acc"].line == 9
+        assert specs.origins["rule:good"].source == "<string>"
+
+    def test_diagnostics_carry_file_and_line(self):
+        findings = lint_specs(loads_specs(self.SPEC), database=DB)
+        sl101 = [d for d in findings if d.code == "SL101"]
+        assert len(sl101) == 1
+        assert sl101[0].file == "<string>"
+        assert sl101[0].line == 6
+        assert sl101[0].format().startswith("<string>:6:")
+
+    def test_lint_file_uses_path_as_source(self, tmp_path):
+        path = tmp_path / "spec.rules"
+        path.write_text(self.SPEC, encoding="utf-8")
+        findings = lint_file(str(path), database=DB)
+        sl101 = [d for d in findings if d.code == "SL101"]
+        assert sl101[0].file == str(path)
+        assert sl101[0].line == 6
+
+    def test_hand_built_specset_lints_without_origins(self):
+        findings = lint_specs(paper_specset(), database=DB)
+        assert all(d.file is None for d in findings)
+
+
+class TestStrictLoading:
+    GOOD = "[rule r]\nformula = Velocity > 10\nsettle = 500ms\n"
+    BAD = "[rule r]\nformula = Velocty > 10\n"
+
+    def test_strict_load_rejects_errors(self):
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(self.BAD, strict=True, database=DB)
+        assert "SL101" in str(excinfo.value)
+        assert "strict lint" in str(excinfo.value)
+
+    def test_strict_load_accepts_clean_spec(self):
+        specs = loads_specs(self.GOOD, strict=True, database=DB)
+        assert len(specs.rules) == 1
+
+    def test_warnings_do_not_block_strict_load(self):
+        # delta() without settle is a warning (SL501), not an error.
+        spec = "[rule r]\nformula = delta(Velocity) < 10\n"
+        specs = loads_specs(spec, strict=True, database=DB)
+        assert len(specs.rules) == 1
+
+    def test_default_load_stays_permissive(self):
+        specs = loads_specs(self.BAD)
+        assert len(specs.rules) == 1
+
+    def test_strict_file_load(self, tmp_path):
+        path = tmp_path / "bad.rules"
+        path.write_text(self.BAD, encoding="utf-8")
+        with pytest.raises(SpecError) as excinfo:
+            load_specs(str(path), strict=True, database=DB)
+        assert str(path) in str(excinfo.value)
+
+
+class TestStrictMonitor:
+    def test_strict_monitor_rejects_errors(self):
+        from repro.core.monitor import Rule
+
+        bad = Rule.from_text("r", "r", "Velocty > 10", initial_settle=0.5)
+        with pytest.raises(SpecError) as excinfo:
+            Monitor([bad], strict=True, database=DB)
+        assert "SL101" in str(excinfo.value)
+
+    def test_strict_monitor_accepts_paper_rules(self):
+        monitor = Monitor(paper_rules(), strict=True, database=DB)
+        assert len(monitor.rules) == 7
+
+    def test_default_monitor_stays_permissive(self):
+        from repro.core.monitor import Rule
+
+        bad = Rule.from_text("r", "r", "Velocty > 10", initial_settle=0.5)
+        assert Monitor([bad]).rules  # no lint without strict=True

@@ -1,0 +1,315 @@
+"""Every speclint check: one positive and one negative case each."""
+
+import pytest
+
+from repro.analysis import Severity, lint_rules
+from repro.can.fsracc import FAST_PERIOD, SLOW_PERIOD, fsracc_database
+from repro.core.ast import Always
+from repro.core.monitor import Rule
+from repro.core.statemachine import StateMachine
+
+DB = fsracc_database()
+
+
+def lint(*rules, machines=(), database=DB):
+    return lint_rules(rules, machines=machines, database=database)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def rule(formula, gate=None, settle=0.5, warmup=None, rule_id="r", filters=()):
+    return Rule.from_text(
+        rule_id=rule_id,
+        name=rule_id,
+        formula=formula,
+        gate=gate,
+        warmup=warmup,
+        initial_settle=settle,
+        filters=filters,
+    )
+
+
+class TestSignalReferences:
+    def test_typo_flagged_with_suggestion(self):
+        findings = lint(rule("Velocty > 10"))
+        assert codes(findings) == ["SL101"]
+        assert findings[0].severity is Severity.ERROR
+        assert "Velocty" in findings[0].message
+        assert "Velocity" in findings[0].suggestion
+
+    def test_known_signals_clean(self):
+        assert lint(rule("Velocity > 10")) == []
+
+    def test_gate_and_warmup_also_resolved(self):
+        from repro.core.warmup import WarmupSpec
+
+        findings = lint(
+            rule(
+                "Velocity > 0",
+                gate="Typo1",
+                warmup=WarmupSpec.parse("Typo2 > 0", 1.0),
+            )
+        )
+        assert codes(findings).count("SL101") == 2
+        parts = {d.message.split()[0] for d in findings}
+        assert parts == {"gate", "warmup"}
+
+    def test_no_database_no_check(self):
+        assert lint(rule("Velocty > 10"), database=None) == []
+
+
+class TestInStateReferences:
+    MACHINE = StateMachine(
+        "acc", ("idle", "engaged"), "idle",
+        (("idle", "engaged", "ACCEnabled"),
+         ("engaged", "idle", "not ACCEnabled")),
+    )
+
+    def test_unknown_machine(self):
+        findings = lint(
+            rule("in_state(cruise, idle)"), machines=[self.MACHINE]
+        )
+        assert "SL102" in codes(findings)
+
+    def test_unknown_state_with_suggestion(self):
+        findings = lint(
+            rule("in_state(acc, enganged)"), machines=[self.MACHINE]
+        )
+        sl103 = [d for d in findings if d.code == "SL103"]
+        assert len(sl103) == 1
+        assert "engaged" in sl103[0].suggestion
+
+    def test_valid_reference_clean(self):
+        assert lint(
+            rule("in_state(acc, engaged) -> Velocity >= 0"),
+            machines=[self.MACHINE],
+        ) == []
+
+
+class TestTypeConfusion:
+    def test_numeric_signal_as_bare_atom(self):
+        findings = lint(rule("TargetRange -> Velocity >= 0"))
+        assert "SL110" in codes(findings)
+
+    def test_bool_signal_as_atom_is_fine(self):
+        assert "SL110" not in codes(lint(rule("ACCEnabled -> Velocity >= 0")))
+
+    def test_bool_in_arithmetic(self):
+        findings = lint(rule("Velocity + ACCEnabled > 3"))
+        assert "SL111" in codes(findings)
+
+    def test_bool_ordered(self):
+        findings = lint(rule("BrakeRequested > 2"))
+        assert "SL111" in codes(findings)
+
+    def test_bool_equality_against_01_is_fine(self):
+        assert "SL111" not in codes(lint(rule("BrakeRequested == 1")))
+
+
+class TestTemporalBounds:
+    def test_inverted_bound_error(self):
+        # The text parser rejects inverted bounds, so build the AST directly.
+        bad = Rule(
+            rule_id="r",
+            name="r",
+            formula=Always(5.0, 2.0, rule("Velocity > 0").formula),
+            initial_settle=0.5,
+        )
+        findings = lint(bad)
+        assert "SL201" in codes(findings)
+        assert any(d.severity is Severity.ERROR for d in findings)
+
+    def test_zero_width_noop_warning(self):
+        findings = lint(rule("eventually[0, 0] Velocity > 1"))
+        assert "SL202" in codes(findings)
+        assert "no-op" in [d for d in findings if d.code == "SL202"][0].message
+
+    def test_proper_bound_clean(self):
+        assert lint(rule("eventually[0, 5s] Velocity > 1")) == []
+
+
+class TestStaticComparisons:
+    def test_always_true_comparison(self):
+        findings = lint(rule("BrakeRequested -> Velocity < 500"))
+        assert "SL301" in codes(findings)
+
+    def test_always_false_comparison(self):
+        findings = lint(rule("BrakeRequested -> SelHeadway > 5"))
+        assert "SL302" in codes(findings)
+
+    def test_contingent_comparison_clean(self):
+        assert lint(rule("BrakeRequested -> Velocity < 30")) == []
+
+
+class TestGateVacuity:
+    def test_unsatisfiable_gate_is_error(self):
+        findings = lint(rule("Velocity >= 0", gate="Velocity > 200"))
+        sl303 = [d for d in findings if d.code == "SL303"]
+        assert len(sl303) == 1
+        assert sl303[0].severity is Severity.ERROR
+
+    def test_always_true_gate_is_info(self):
+        findings = lint(rule("Velocity >= -1", gate="Velocity < 500"))
+        assert "SL305" in codes(findings)
+
+    def test_contingent_gate_clean(self):
+        assert lint(rule("Velocity >= 0", gate="ACCEnabled")) == []
+
+    def test_vacuous_implication_antecedent(self):
+        findings = lint(rule("SelHeadway > 5 -> BrakeRequested"))
+        assert "SL304" in codes(findings)
+
+
+class TestMultirateWindows:
+    """The §V-C1 acceptance case: window tighter than broadcast period."""
+
+    def test_window_tighter_than_slow_period_flagged(self):
+        # RequestedTorque broadcasts every 80 ms; a 50 ms eventually-window
+        # can open and close between two consecutive samples.
+        assert SLOW_PERIOD == 0.08
+        findings = lint(
+            rule("eventually[0, 50ms] rising(RequestedTorque)")
+        )
+        sl401 = [d for d in findings if d.code == "SL401"]
+        assert len(sl401) == 1
+        assert "80 ms" in sl401[0].message
+        assert "V-C1" in sl401[0].message
+
+    def test_window_wider_than_period_clean(self):
+        findings = lint(
+            rule("eventually[0, 500ms] rising(RequestedTorque)")
+        )
+        assert "SL401" not in codes(findings)
+
+    def test_fast_signal_narrow_window_clean(self):
+        assert FAST_PERIOD == 0.02
+        findings = lint(rule("eventually[0, 40ms] Velocity > 1"))
+        assert "SL401" not in codes(findings)
+
+
+class TestSlowSignalFunctions:
+    def test_delta_naive_on_slow_signal_warns(self):
+        findings = lint(rule("delta_naive(RequestedTorque) < 100"))
+        sl402 = [d for d in findings if d.code == "SL402"]
+        assert len(sl402) == 1
+        assert sl402[0].severity is Severity.WARNING
+        assert "delta()" in sl402[0].suggestion
+
+    def test_delta_without_fresh_guard_is_info(self):
+        findings = lint(rule("delta(RequestedTorque) < 100"))
+        sl403 = [d for d in findings if d.code == "SL403"]
+        assert len(sl403) == 1
+        assert sl403[0].severity is Severity.INFO
+
+    def test_fresh_guard_silences_sl403(self):
+        findings = lint(
+            rule("fresh(RequestedTorque) -> delta(RequestedTorque) < 100")
+        )
+        assert "SL403" not in codes(findings)
+
+    def test_delta_on_fast_signal_clean(self):
+        findings = lint(rule("delta(Velocity) < 10"))
+        assert "SL402" not in codes(findings)
+        assert "SL403" not in codes(findings)
+
+
+class TestWarmupHazards:
+    def test_history_without_settle_or_warmup(self):
+        findings = lint(rule("delta(Velocity) < 10", settle=0.0))
+        sl501 = [d for d in findings if d.code == "SL501"]
+        assert len(sl501) == 1
+        assert "V-C2" in sl501[0].message
+
+    def test_settle_silences(self):
+        assert "SL501" not in codes(lint(rule("delta(Velocity) < 10")))
+
+    def test_warmup_silences(self):
+        from repro.core.warmup import WarmupSpec
+
+        findings = lint(
+            rule(
+                "delta(Velocity) < 10",
+                settle=0.0,
+                warmup=WarmupSpec.parse("ACCEnabled", 1.0),
+            )
+        )
+        assert "SL501" not in codes(findings)
+
+    def test_one_report_per_rule(self):
+        findings = lint(
+            rule("delta(Velocity) < 10 and prev(Velocity) > 0", settle=0.0)
+        )
+        assert codes(findings).count("SL501") == 1
+
+
+class TestMachineChecks:
+    def test_unreachable_state(self):
+        machine = StateMachine(
+            "m", ("a", "b", "orphan"), "a", (("a", "b", "ACCEnabled"),)
+        )
+        findings = lint(machines=[machine])
+        sl601 = [d for d in findings if d.code == "SL601"]
+        assert len(sl601) == 1
+        assert "orphan" in sl601[0].message
+
+    def test_duplicate_guard(self):
+        machine = StateMachine(
+            "m", ("a", "b"), "a",
+            (("a", "b", "ACCEnabled"), ("a", "a", "ACCEnabled")),
+        )
+        findings = lint(machines=[machine])
+        assert "SL602" in codes(findings)
+
+    def test_dead_guard(self):
+        machine = StateMachine(
+            "m", ("a", "b"), "a", (("a", "b", "Velocity > 200"),)
+        )
+        findings = lint(machines=[machine])
+        assert "SL603" in codes(findings)
+
+    def test_guard_signal_resolution(self):
+        machine = StateMachine(
+            "m", ("a", "b"), "a", (("a", "b", "Velocty > 0"),)
+        )
+        findings = lint(machines=[machine])
+        assert "SL101" in codes(findings)
+
+    def test_well_formed_machine_clean(self):
+        machine = StateMachine(
+            "m", ("a", "b"), "a",
+            (("a", "b", "ACCEnabled"), ("b", "a", "not ACCEnabled")),
+        )
+        assert lint(machines=[machine]) == []
+
+
+class TestSpecSetChecks:
+    def test_duplicate_rule_id(self):
+        findings = lint(
+            rule("Velocity > 0", rule_id="dup"),
+            rule("Velocity < 90", rule_id="dup"),
+        )
+        assert "SL701" in codes(findings)
+
+    def test_duplicate_effective_formula(self):
+        findings = lint(
+            rule("BrakeRequested -> RequestedDecel <= 0", rule_id="a"),
+            rule("BrakeRequested -> RequestedDecel <= 0", rule_id="b"),
+        )
+        sl702 = [d for d in findings if d.code == "SL702"]
+        assert len(sl702) == 1
+        assert sl702[0].subject == "rule b"
+
+    def test_same_formula_different_gate_clean(self):
+        findings = lint(
+            rule("RequestedDecel <= 0", gate="BrakeRequested", rule_id="a"),
+            rule("RequestedDecel <= 0", gate="ACCEnabled", rule_id="b"),
+        )
+        assert "SL702" not in codes(findings)
+
+    def test_distinct_rules_clean(self):
+        assert lint(
+            rule("Velocity > 10", rule_id="a"),
+            rule("TargetRange > 10", rule_id="b"),
+        ) == []

@@ -1,0 +1,135 @@
+"""Interval arithmetic, static comparison, and the AST walker."""
+
+import math
+
+import pytest
+
+from repro.analysis import ALWAYS, MAYBE, NEVER, Interval, compare, expr_interval
+from repro.analysis.intervals import (
+    TOP,
+    abs_,
+    add,
+    div,
+    mul,
+    neg,
+    negate_status,
+    point,
+    span,
+    sub,
+)
+from repro.analysis.walker import contains, iter_nodes, signal_uses, walk
+from repro.core.ast import Comparison, SignalRef, TraceFunc
+from repro.core.parser import parse_expr, parse_formula
+
+
+class TestInterval:
+    def test_rejects_nan_and_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 2.0)
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_basic_ops(self):
+        a, b = Interval(1, 3), Interval(-2, 4)
+        assert add(a, b) == Interval(-1, 7)
+        assert sub(a, b) == Interval(-3, 5)
+        assert neg(a) == Interval(-3, -1)
+        assert mul(Interval(-1, 2), Interval(3, 5)) == Interval(-5, 10)
+        assert abs_(Interval(-3, 2)) == Interval(0, 3)
+
+    def test_div_through_zero_is_top(self):
+        assert div(Interval(1, 2), Interval(-1, 1)) == TOP
+        assert div(Interval(4, 8), Interval(2, 4)) == Interval(1, 4)
+
+    def test_span_symmetric(self):
+        assert span(Interval(10, 30)) == Interval(-20, 20)
+        assert span(TOP) == TOP
+
+    def test_mul_zero_times_infinity(self):
+        assert mul(point(0.0), TOP) == point(0.0)
+
+
+class TestExprInterval:
+    ENV = {"Velocity": Interval(0, 90), "Bool": Interval(0, 1)}
+
+    def interval_of(self, source):
+        return expr_interval(parse_expr(source), self.ENV)
+
+    def test_signal_and_constant(self):
+        assert self.interval_of("Velocity") == Interval(0, 90)
+        assert self.interval_of("3.5") == point(3.5)
+        assert self.interval_of("Unknown") == TOP
+
+    def test_arithmetic_composes(self):
+        assert self.interval_of("Velocity + 10") == Interval(10, 100)
+        assert self.interval_of("-Velocity") == Interval(-90, 0)
+        assert self.interval_of("abs(Velocity - 90)") == Interval(0, 90)
+
+    def test_trace_functions(self):
+        assert self.interval_of("prev(Velocity)") == Interval(0, 90)
+        assert self.interval_of("delta(Velocity)") == Interval(-90, 90)
+        assert self.interval_of("age(Velocity)") == Interval(0, math.inf)
+        assert self.interval_of("rate(Velocity)") == TOP
+
+
+class TestCompare:
+    def test_decided_orderings(self):
+        assert compare("<", Interval(0, 5), Interval(10, 20)) == ALWAYS
+        assert compare("<", Interval(10, 20), Interval(0, 5)) == NEVER
+        assert compare("<", Interval(0, 15), Interval(10, 20)) == MAYBE
+        assert compare(">", Interval(10, 20), Interval(0, 5)) == ALWAYS
+        assert compare("<=", Interval(0, 5), Interval(5, 9)) == ALWAYS
+
+    def test_equality(self):
+        assert compare("==", point(3), point(3)) == ALWAYS
+        assert compare("==", Interval(0, 1), Interval(2, 3)) == NEVER
+        assert compare("!=", Interval(0, 1), Interval(2, 3)) == ALWAYS
+        assert compare("==", Interval(0, 5), Interval(3, 9)) == MAYBE
+
+    def test_negate_status(self):
+        assert negate_status(ALWAYS) == NEVER
+        assert negate_status(NEVER) == ALWAYS
+        assert negate_status(MAYBE) == MAYBE
+
+
+class TestWalker:
+    FORMULA = parse_formula(
+        "always[0, 1s] (Velocity > 10 -> fresh(TargetRange))"
+    )
+
+    def test_walk_is_preorder_and_complete(self):
+        nodes = list(walk(self.FORMULA))
+        assert nodes[0] is self.FORMULA
+        names = [type(n).__name__ for n in nodes]
+        assert "Comparison" in names
+        assert "Fresh" in names
+        assert "SignalRef" in names
+
+    def test_iter_nodes_filters_by_type(self):
+        comparisons = list(iter_nodes(self.FORMULA, Comparison))
+        assert len(comparisons) == 1
+        refs = list(iter_nodes(self.FORMULA, SignalRef))
+        assert [r.name for r in refs] == ["Velocity"]
+
+    def test_contains(self):
+        assert contains(
+            self.FORMULA, lambda n: isinstance(n, SignalRef)
+        )
+        assert not contains(
+            self.FORMULA, lambda n: isinstance(n, TraceFunc)
+        )
+
+    def test_signal_uses_covers_all_reference_forms(self):
+        formula = parse_formula(
+            "Bool and delta(Torque) > 0 and fresh(Range) and Speed > 1"
+        )
+        names = {name for name, _ in signal_uses(formula)}
+        assert names == {"Bool", "Torque", "Range", "Speed"}
+
+    def test_children_on_every_paper_rule_node(self):
+        # Every node reachable from the paper rules exposes children().
+        from repro.rules.safety_rules import paper_rules
+
+        for rule in paper_rules():
+            for node in walk(rule.effective_formula()):
+                assert isinstance(node.children(), tuple)

@@ -75,3 +75,33 @@ class TestLexing:
         tokens = tokenize(source)
         assert tokens[-1].kind == "end"
         assert "eventually" in [t.text for t in tokens]
+
+
+class TestLineAndColumn:
+    def test_single_line_coordinates(self):
+        tokens = tokenize("ab cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (1, 4)
+
+    def test_newlines_advance_lines(self):
+        tokens = tokenize("a and\nb or\n  c")
+        by_text = {t.text: t for t in tokens}
+        assert (by_text["a"].line, by_text["a"].column) == (1, 1)
+        assert (by_text["b"].line, by_text["b"].column) == (2, 1)
+        assert (by_text["c"].line, by_text["c"].column) == (3, 3)
+
+    def test_location_property(self):
+        token = tokenize("x\n  y")[1]
+        assert token.location == "line 2 column 3"
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(SpecError) as excinfo:
+            tokenize("ok\n  $bad")
+        message = str(excinfo.value)
+        assert "line 2" in message
+        assert "column 3" in message
+
+    def test_end_token_coordinates(self):
+        end = tokenize("a\nbc")[-1]
+        assert end.kind == "end"
+        assert (end.line, end.column) == (2, 3)

@@ -198,6 +198,22 @@ class TestErrors:
             parse_formula("x > ")
         assert "x > " in str(excinfo.value)
 
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_formula("x > ")
+        assert "line 1 column 3" in str(excinfo.value)
+
+    def test_error_column_points_at_the_offending_token(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_formula("always[1] x > 0")
+        assert "line 1 column 9" in str(excinfo.value)
+
+    def test_invalid_bounds_rejected_with_values(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_formula("always[5, 2] x > 0")
+        assert "invalid time bounds" in str(excinfo.value)
+        assert "[5, 2]" in str(excinfo.value)
+
 
 class TestPaperRules:
     """All seven paper rules must parse (guards the grammar's coverage)."""

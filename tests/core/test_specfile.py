@@ -120,6 +120,77 @@ class TestParseErrors:
             loads_specs(text)
         assert fragment in str(excinfo.value)
 
+    def test_builder_errors_name_their_section(self):
+        # A bad field inside [rule cutoff] must say which section broke
+        # and where it starts, not just what went wrong.
+        text = (
+            "[rule fine]\nformula = x > 0\n\n"
+            "[rule cutoff]\nformula = y > 0\nbogus = 1\n"
+        )
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(text)
+        message = str(excinfo.value)
+        assert "in [rule cutoff]" in message
+        assert "line 4" in message
+        assert "unknown keys" in message
+
+    def test_machine_errors_name_their_section(self):
+        text = "[machine gear]\nstates = a, b\n"
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(text)
+        message = str(excinfo.value)
+        assert "in [machine gear]" in message
+        assert "initial" in message
+
+    def test_duplicate_rule_section_rejected(self):
+        text = (
+            "[rule r]\nformula = x > 0\n"
+            "[rule other]\nformula = y > 0\n"
+            "[rule r]\nformula = z > 0\n"
+        )
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(text)
+        message = str(excinfo.value)
+        assert "duplicate [rule r] section" in message
+        assert "line 5" in message
+        assert "first defined at line 1" in message
+
+    def test_duplicate_machine_section_rejected(self):
+        text = (
+            "[machine m]\nstates = a\ninitial = a\n"
+            "[machine m]\nstates = b\ninitial = b\n"
+        )
+        with pytest.raises(SpecError):
+            loads_specs(text)
+
+    def test_malformed_formula_bounds_reported_in_section(self):
+        text = "[rule windowed]\nformula = always[5, 2] x > 0\n"
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(text)
+        message = str(excinfo.value)
+        assert "in [rule windowed]" in message
+        assert "invalid time bounds" in message
+
+    def test_unknown_filter_kind_reported_in_section(self):
+        text = "[rule f]\nformula = x > 0\nfilter = debounce 3\n"
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(text)
+        message = str(excinfo.value)
+        assert "in [rule f]" in message
+        assert "debounce 3" in message
+        assert "duration" in message  # the error lists the valid kinds
+
+    def test_bad_transition_line_reported_in_section(self):
+        text = (
+            "[machine m]\nstates = a, b\ninitial = a\n"
+            "transition = a => b : x > 0\n"
+        )
+        with pytest.raises(SpecError) as excinfo:
+            loads_specs(text)
+        message = str(excinfo.value)
+        assert "in [machine m]" in message
+        assert "src -> dst" in message
+
 
 class TestSerialization:
     def test_round_trip_preserves_semantics(self):

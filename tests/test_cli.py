@@ -74,6 +74,107 @@ class TestRulesExport:
         assert main(["check", str(trace_file), "--rules", str(rules_file)]) == 0
 
 
+class TestLintCommand:
+    BAD_SPEC = "[rule broken]\nformula = Velocty > 10\n"
+    WARN_SPEC = "[rule warned]\nformula = delta(Velocity) < 10\n"
+
+    def test_paper_rules_lint_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "paper rules (strict)" in out
+        assert "0 error(s)" in out
+
+    def test_relaxed_paper_rules_lint_clean(self, capsys):
+        assert main(["lint", "--relaxed"]) == 0
+        assert "paper rules (relaxed)" in capsys.readouterr().out
+
+    def test_error_findings_set_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.rules"
+        path.write_text(self.BAD_SPEC, encoding="utf-8")
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SL101" in out
+        assert "Velocty" in out
+        assert "lint failed" in out
+
+    def test_warnings_alone_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "warn.rules"
+        path.write_text(self.WARN_SPEC, encoding="utf-8")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SL501" in out
+
+    def test_diagnostics_point_at_file_and_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.rules"
+        path.write_text(self.BAD_SPEC, encoding="utf-8")
+        main(["lint", str(path)])
+        assert "%s:1:" % path in capsys.readouterr().out
+
+    def test_json_report_is_schema_valid(self, tmp_path, capsys):
+        from repro.analysis import require_valid_report
+
+        path = tmp_path / "bad.rules"
+        path.write_text(self.BAD_SPEC, encoding="utf-8")
+        code = main(["lint", str(path), "--format", "json"])
+        report = require_valid_report(json.loads(capsys.readouterr().out))
+        assert code == 1
+        assert report["counts"]["error"] == 1
+        assert report["targets"][0]["name"] == str(path)
+
+    def test_multiple_files_aggregate(self, tmp_path, capsys):
+        good = tmp_path / "good.rules"
+        good.write_text(
+            "[rule g]\nformula = Velocity > 10\nsettle = 500ms\n",
+            encoding="utf-8",
+        )
+        bad = tmp_path / "bad.rules"
+        bad.write_text(self.BAD_SPEC, encoding="utf-8")
+        code = main(["lint", str(good), str(bad), "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert len(report["targets"]) == 2
+
+    def test_unparseable_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "mangled.rules"
+        path.write_text("formula = x > 0\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", str(path)])
+        assert excinfo.value.code == 2
+
+    def test_missing_file_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", str(tmp_path / "nope.rules")])
+        assert excinfo.value.code == 2
+
+    def test_no_dbc_disables_signal_checks(self, tmp_path, capsys):
+        path = tmp_path / "bad.rules"
+        path.write_text(self.BAD_SPEC, encoding="utf-8")
+        assert main(["lint", str(path), "--no-dbc"]) == 0
+        assert "SL101" not in capsys.readouterr().out
+
+    def test_example_rules_files_lint_clean(self, capsys):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parent.parent / "examples"
+        files = sorted(str(p) for p in examples.glob("*.rules"))
+        assert len(files) >= 2
+        assert main(["lint"] + files) == 0
+
+
+class TestOnlineCustomRules:
+    def test_online_with_custom_rules_file(self, tmp_path, capsys):
+        rules_file = tmp_path / "paper.rules"
+        assert main(["rules", "--export", str(rules_file)]) == 0
+        trace_file = tmp_path / "t.csv"
+        main(["simulate", "steady_follow", "--duration", "10",
+              "--out", str(trace_file)])
+        capsys.readouterr()
+        code = main(["online", str(trace_file), "--rules", str(rules_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streaming" in out
+
+
 #: Short campaign knobs so table1 smoke runs stay fast.
 FAST_TABLE1 = ["--hold", "0.5", "--gap", "0.25", "--settle", "3"]
 

@@ -52,6 +52,27 @@ class TestExamples:
         assert "LIVE" in out
         assert "identical to offline check: True" in out
 
+    def test_spec_linting(self, capsys):
+        load_example("spec_linting").main()
+        out = capsys.readouterr().out
+        assert "SL101" in out  # the misspelled signal is caught
+        assert "SL401" in out  # the multi-rate window hazard is caught
+        assert "none errors" in out  # the paper rules stay lint-clean
+
+    def test_committed_rules_files_match_bundled_rules(self):
+        # examples/fsracc_*.rules are generated with dump_specs; fail
+        # loudly if the bundled rule set drifts from the committed text.
+        from repro.core.specfile import dumps_specs
+        from repro.rules.safety_rules import paper_specset
+
+        for relaxed, stem in ((False, "fsracc_strict"), (True, "fsracc_relaxed")):
+            committed = (EXAMPLES_DIR / ("%s.rules" % stem)).read_text(
+                encoding="utf-8"
+            )
+            assert committed == dumps_specs(paper_specset(relaxed)), (
+                "%s.rules is stale; regenerate with dump_specs" % stem
+            )
+
     def test_every_example_has_a_docstring_and_main(self):
         for path in sorted(EXAMPLES_DIR.glob("*.py")):
             source = path.read_text(encoding="utf-8")
