@@ -1,0 +1,125 @@
+"""CI perf-smoke gate for the monitor hot path.
+
+Reruns the window-kernel sweep at reduced scale, validates both the
+fresh measurement and the committed baseline
+(``results/BENCH_monitor.json``) against the ``repro.bench.monitor/v1``
+schema, and fails on a >2x regression.
+
+Regression is judged on **same-machine speedup ratios** (block kernel
+vs strided reference, memo on vs off), not absolute rows/s: absolute
+throughput varies wildly between hosts, but "the O(n) kernel is k-times
+the O(n*w) kernel on identical input" is host-independent.  A very
+conservative absolute floor catches catastrophic breakage anyway.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--rows N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import bench_monitor, format_bench, require_valid_bench_snapshot
+
+BASELINE = Path(__file__).resolve().parent.parent / "results" / "BENCH_monitor.json"
+
+#: Catastrophic-breakage floor for the O(n) kernel at the widest window
+#: (any real host clears this by orders of magnitude).
+MIN_BLOCK_ROWS_PER_SECOND = 50_000.0
+
+#: A regression is flagged when a fresh same-machine speedup drops below
+#: the committed baseline's divided by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def _block_rows_per_second(snapshot: dict, width: int) -> float:
+    for entry in snapshot["sweep"]:
+        if entry["width_rows"] == width and entry["kernel"] == "block":
+            return float(entry["rows_per_second"])
+    raise SystemExit("no block measurement at width %d in the sweep" % width)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=8000,
+        help="trace rows for the reduced-scale sweep (default 8000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per configuration (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="committed baseline snapshot (default results/BENCH_monitor.json)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the fresh snapshot here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = require_valid_bench_snapshot(
+        bench_monitor(rows=args.rows, repeats=args.repeats)
+    )
+    print(format_bench(fresh))
+    print()
+    if args.out is not None:
+        args.out.write_text(json.dumps(fresh, indent=2) + "\n", encoding="utf-8")
+        print("snapshot written to %s" % args.out)
+
+    failures = []
+
+    widest = max(entry["width_rows"] for entry in fresh["sweep"])
+    block_rps = _block_rows_per_second(fresh, widest)
+    if block_rps < MIN_BLOCK_ROWS_PER_SECOND:
+        failures.append(
+            "block kernel at w=%d ran %.0f rows/s, below the %.0f floor"
+            % (widest, block_rps, MIN_BLOCK_ROWS_PER_SECOND)
+        )
+
+    if args.baseline.exists():
+        baseline = require_valid_bench_snapshot(
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+        )
+        print("baseline: %s" % args.baseline)
+        for name, committed in sorted(baseline["speedups"].items()):
+            measured = fresh["speedups"].get(name)
+            if measured is None:
+                failures.append("baseline speedup %r missing from fresh sweep" % name)
+                continue
+            floor = committed / REGRESSION_FACTOR
+            verdict = "ok" if measured >= floor else "REGRESSION"
+            print(
+                "  %-8s committed %6.2fx  measured %6.2fx  floor %6.2fx  %s"
+                % (name, committed, measured, floor, verdict)
+            )
+            if measured < floor:
+                failures.append(
+                    "speedup %s regressed >%gx: %.2fx measured vs %.2fx committed"
+                    % (name, REGRESSION_FACTOR, measured, committed)
+                )
+    else:
+        print("no committed baseline at %s — schema and floor checks only" % args.baseline)
+
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print()
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,10 +8,20 @@ parser's cost — quantifying how much headroom the simple bounded logic
 leaves over the vehicle's 50 Hz data rate.
 """
 
+import json
+
 import pytest
 
 from repro.core.monitor import Monitor
 from repro.core.parser import parse_formula
+from repro.core.windows import active_kernel
+from repro.obs import (
+    MetricsRegistry,
+    bench_monitor,
+    format_bench,
+    require_valid_bench_snapshot,
+    use_registry,
+)
 from repro.rules.safety_rules import paper_rules
 
 PROPOSITIONAL = "BrakeRequested -> RequestedDecel <= 0"
@@ -62,6 +72,20 @@ def test_full_rule_set_throughput(benchmark, long_trace, publish):
     view = long_trace.to_view(0.02, signals=monitor.required_signals())
     benchmark(monitor.check_view, view)
     rows_per_second = view.n_rows / benchmark.stats["mean"]
+
+    # One instrumented pass for the memoization counters (the timed
+    # passes above run with the default no-op registry).
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        monitor.check_view(view)
+    counters = registry.snapshot()["counters"]
+    hits = counters.get("eval.memo.formula.hits", 0) + counters.get(
+        "eval.memo.expr.hits", 0
+    )
+    misses = counters.get("eval.memo.formula.misses", 0) + counters.get(
+        "eval.memo.expr.misses", 0
+    )
+
     publish(
         "monitor_perf.txt",
         "\n".join(
@@ -70,10 +94,37 @@ def test_full_rule_set_throughput(benchmark, long_trace, publish):
                 "%-36s %d" % ("trace rows", view.n_rows),
                 "%-36s %.0f" % ("rows checked per second", rows_per_second),
                 "%-36s %.0fx" % ("headroom over 50 Hz real time", rows_per_second / 50.0),
+                "%-36s %s" % ("window kernel", active_kernel()),
+                "%-36s %d hits / %d misses (%.0f%%)"
+                % (
+                    "memoized subformula lookups",
+                    hits,
+                    misses,
+                    100.0 * hits / (hits + misses) if hits + misses else 0.0,
+                ),
             ]
         ),
     )
     assert rows_per_second > 50 * 10
+
+
+def test_window_width_sweep(publish):
+    """Width x kernel sweep plus memo ablation -> BENCH_monitor.json.
+
+    The machine-readable snapshot is the committed baseline CI's
+    perf-smoke gate compares against (``benchmarks/perf_smoke.py``).
+    """
+    snapshot = require_valid_bench_snapshot(
+        bench_monitor(rows=15000, widths=(10, 100, 1000), repeats=3)
+    )
+    publish("BENCH_monitor.json", json.dumps(snapshot, indent=2))
+    publish("monitor_sweep.txt", format_bench(snapshot))
+    # The O(n) kernel must beat the O(n*w) reference by a wide margin at
+    # the widest window — the point of the rewrite.
+    assert snapshot["speedups"]["w1000"] >= 5.0
+    assert snapshot["speedups"]["w100"] > 1.0
+    # Memoizing the shared subformulas must pay for itself.
+    assert snapshot["speedups"]["memo"] > 1.2
 
 
 def test_parser_cost(benchmark):

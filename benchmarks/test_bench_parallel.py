@@ -10,9 +10,10 @@ benchmark budget; the contract under test is scheduling, not physics:
   one (per-test seed derivation makes every row self-contained);
 * rows come back in paper order regardless of completion order.
 
-The measured speedup depends on the host (on a single-core box the
-pool's fork/pickle overhead can even make it < 1x); the number is
-recorded, not asserted.
+The measured speedup depends on the host: on a single-core box the
+pool's fork/pickle overhead typically makes it < 1x, which is expected,
+so the artifact annotates the single-core case explicitly and the
+speedup is only asserted when at least two cores are available.
 """
 
 from __future__ import annotations
@@ -50,7 +51,15 @@ def test_parallel_campaign_speedup(publish):
 
     identical = parallel.format() == sequential.format()
     speedup = sequential_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    multicore = cores >= 2
 
+    speedup_line = "wall-clock speedup: %.2fx on %d core(s)" % (speedup, cores)
+    if not multicore:
+        speedup_line += (
+            " — single-core host: workers time-slice one core, so the"
+            " pool's fork/pickle overhead makes < 1x expected here"
+        )
     lines = [
         "PARALLEL CAMPAIGN EXECUTION (%d Table I rows, 2 s holds)"
         % len(tests),
@@ -59,8 +68,7 @@ def test_parallel_campaign_speedup(publish):
         "%-34s %8.2f" % ("sequential (jobs=1)", sequential_s),
         "%-34s %8.2f" % ("parallel   (jobs=%d)" % JOBS, parallel_s),
         "",
-        "wall-clock speedup: %.2fx on %d core(s)"
-        % (speedup, os.cpu_count() or 1),
+        speedup_line,
         "letter matrices byte-identical: %s" % ("yes" if identical else "NO"),
         "",
         parallel.format(title="FAULT INJECTION RESULTS (parallel run)"),
@@ -70,3 +78,10 @@ def test_parallel_campaign_speedup(publish):
     assert identical, "parallel letters drifted from the sequential run"
     assert parallel.labels() == [t.label for t in tests]
     assert resolve_jobs(JOBS) == JOBS
+    # Only meaningful with real parallelism available; on a single core
+    # the annotation above is the whole story.
+    if multicore:
+        assert speedup > 1.0, (
+            "parallel run no faster than sequential on %d cores (%.2fx)"
+            % (cores, speedup)
+        )

@@ -77,6 +77,16 @@ from repro.core.violations import (
     merge_close,
 )
 from repro.core.warmup import WarmupSpec, activation_warmup
+from repro.core.windows import (
+    KERNELS,
+    active_kernel,
+    bounds_to_rows,
+    future_aggregate,
+    past_aggregate,
+    set_kernel,
+    sliding_extreme,
+    use_kernel,
+)
 
 __all__ = [
     "Always",
@@ -97,6 +107,7 @@ __all__ = [
     "Implies",
     "InState",
     "IntentFilter",
+    "KERNELS",
     "MagnitudeFilter",
     "Monitor",
     "MonitorReport",
@@ -126,13 +137,17 @@ __all__ = [
     "Violation",
     "WarmupSpec",
     "activation_warmup",
+    "active_kernel",
     "apply_filters",
     "as_formula",
+    "bounds_to_rows",
     "compare_trends",
     "coverage_report",
     "evaluate_expr",
     "evaluate_formula",
+    "future_aggregate",
     "future_reach",
+    "past_aggregate",
     "past_reach",
     "dump_specs",
     "dumps_specs",
@@ -142,6 +157,9 @@ __all__ = [
     "merge_close",
     "parse_expr",
     "parse_formula",
+    "set_kernel",
+    "sliding_extreme",
     "summarize_codes",
     "update_interval_histogram",
+    "use_kernel",
 ]

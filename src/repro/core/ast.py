@@ -415,3 +415,67 @@ class InState(Formula):
 
 
 Node = Union[Expr, Formula]
+
+
+# ----------------------------------------------------------------------
+# Cached structural hashing
+# ----------------------------------------------------------------------
+#
+# AST nodes are immutable, so their structural hash never changes — but
+# the dataclass-generated ``__hash__`` rehashes the whole subtree on
+# every call, which makes hash-keyed memo tables (the evaluator's
+# cross-rule subformula cache) O(tree) per lookup.  Each node therefore
+# caches its hash on first use.  The cached value is *per-process*
+# (Python string hashing is randomized), so it is excluded from pickles:
+# a node shipped to a campaign worker recomputes its hash there.
+
+_HASH_SLOT = "_structural_hash"
+
+
+def _install_structural_cache(cls: type) -> None:
+    generated_hash = cls.__hash__
+
+    def __hash__(self) -> int:
+        try:
+            return object.__getattribute__(self, _HASH_SLOT)
+        except AttributeError:
+            value = generated_hash(self)
+            object.__setattr__(self, _HASH_SLOT, value)
+            return value
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop(_HASH_SLOT, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    cls.__hash__ = __hash__
+    cls.__getstate__ = __getstate__
+    cls.__setstate__ = __setstate__
+
+
+for _cls in (
+    Constant,
+    SignalRef,
+    Unary,
+    Binary,
+    TraceFunc,
+    BoolConst,
+    SignalPredicate,
+    Fresh,
+    Comparison,
+    Not,
+    And,
+    Or,
+    Implies,
+    Always,
+    Eventually,
+    Once,
+    Historically,
+    Next,
+    InState,
+):
+    _install_structural_cache(_cls)
+del _cls

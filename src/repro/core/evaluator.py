@@ -13,19 +13,32 @@ A monitored specification therefore treats a corrupted value as "does not
 satisfy the bound", matching how the paper's rules reacted to exceptional
 injected values.
 
+Two layers keep the hot path fast:
+
+* bounded temporal operators run on the O(n) sliding min/max kernels of
+  :mod:`repro.core.windows` (amortized O(1) per row regardless of the
+  window width, versus O(w) for the naive strided reduction);
+* every :class:`EvalContext` memoizes node results by *structural*
+  equality (see the cached hashes in :mod:`repro.core.ast`), so a
+  subformula shared between rules — a common gate, an ``in_state`` test,
+  a repeated signal derivation — is computed exactly once per trace.
+  Cached arrays are shared, never mutated: every consumer that writes
+  into a verdict array copies it first.
+
 When a metrics registry is installed (see :mod:`repro.obs`), every
 dispatch through :func:`evaluate_formula` / :func:`evaluate_expr`
 records its wall time into a per-node-type histogram
-(``eval.formula.<NodeType>.seconds`` / ``eval.expr.<NodeType>.seconds``).
-Timings are *inclusive* of operand evaluation — the recursion times each
-node through the same public entry point — which is exactly the view
-needed to answer "which operator dominates the check".  With the default
-(disabled) registry the instrumentation is one attribute check.
+(``eval.formula.<NodeType>.seconds`` / ``eval.expr.<NodeType>.seconds``),
+and the memo caches count hits and misses into
+``eval.memo.{formula,expr}.{hits,misses}``.  Timings are *inclusive* of
+operand evaluation — the recursion times each node through the same
+public entry point — which is exactly the view needed to answer "which
+operator dominates the check".  With the default (disabled) registry the
+instrumentation is one attribute check.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Dict, Mapping, Optional
 
@@ -60,6 +73,11 @@ from repro.core.types import (
     UNKNOWN_CODE,
     bools_to_codes,
 )
+from repro.core.windows import (
+    bounds_to_rows,
+    future_aggregate,
+    past_aggregate,
+)
 from repro.errors import EvaluationError
 from repro.logs.trace import TraceView
 from repro.obs import get_registry
@@ -74,6 +92,12 @@ class EvalContext:
             (populated by the monitor after running its state machines).
         machine_alphabets: per-machine set of valid state names, used to
             reject typos in ``in_state`` references.
+        memo: whether to memoize node results by structural equality.
+            The caches are valid as long as the view's columns and the
+            machine state arrays do not change; a caller that replaces
+            ``machine_states`` after evaluating must call
+            :meth:`invalidate_cache` (the monitor never does — it runs
+            every machine before the first rule).
     """
 
     def __init__(
@@ -81,12 +105,27 @@ class EvalContext:
         view: TraceView,
         machine_states: Optional[Mapping[str, np.ndarray]] = None,
         machine_alphabets: Optional[Mapping[str, frozenset]] = None,
+        memo: bool = True,
     ) -> None:
         self.view = view
         self.machine_states: Dict[str, np.ndarray] = dict(machine_states or {})
         self.machine_alphabets: Dict[str, frozenset] = dict(
             machine_alphabets or {}
         )
+        self.memo = memo
+        self.formula_cache: Optional[Dict[Formula, np.ndarray]] = (
+            {} if memo else None
+        )
+        self.expr_cache: Optional[Dict[Expr, np.ndarray]] = (
+            {} if memo else None
+        )
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoized result (after mutating machines/view)."""
+        if self.formula_cache is not None:
+            self.formula_cache.clear()
+        if self.expr_cache is not None:
+            self.expr_cache.clear()
 
     @property
     def n_rows(self) -> int:
@@ -95,28 +134,60 @@ class EvalContext:
 
 
 def evaluate_expr(node: Expr, ctx: EvalContext) -> np.ndarray:
-    """Evaluate a numeric expression to one float per row."""
+    """Evaluate a numeric expression to one float per row.
+
+    Results are memoized per context by structural node equality; the
+    returned array is shared, so callers must copy before writing.
+    """
     registry = get_registry()
+    cache = ctx.expr_cache
+    if cache is not None:
+        cached = cache.get(node)
+        if cached is not None:
+            if registry.enabled:
+                registry.counter("eval.memo.expr.hits").inc()
+            return cached
     if not registry.enabled:
-        return _evaluate_expr(node, ctx)
-    started = time.perf_counter()
-    result = _evaluate_expr(node, ctx)
-    registry.histogram(
-        "eval.expr.%s.seconds" % type(node).__name__
-    ).observe(time.perf_counter() - started)
+        result = _evaluate_expr(node, ctx)
+    else:
+        started = time.perf_counter()
+        result = _evaluate_expr(node, ctx)
+        registry.histogram(
+            "eval.expr.%s.seconds" % type(node).__name__
+        ).observe(time.perf_counter() - started)
+    if cache is not None:
+        if registry.enabled:
+            registry.counter("eval.memo.expr.misses").inc()
+        cache[node] = result
     return result
 
 
 def evaluate_formula(node: Formula, ctx: EvalContext) -> np.ndarray:
-    """Evaluate a formula to one int8 verdict code per row."""
+    """Evaluate a formula to one int8 verdict code per row.
+
+    Results are memoized per context by structural node equality; the
+    returned array is shared, so callers must copy before writing.
+    """
     registry = get_registry()
+    cache = ctx.formula_cache
+    if cache is not None:
+        cached = cache.get(node)
+        if cached is not None:
+            if registry.enabled:
+                registry.counter("eval.memo.formula.hits").inc()
+            return cached
     if not registry.enabled:
-        return _evaluate_formula(node, ctx)
-    started = time.perf_counter()
-    result = _evaluate_formula(node, ctx)
-    registry.histogram(
-        "eval.formula.%s.seconds" % type(node).__name__
-    ).observe(time.perf_counter() - started)
+        result = _evaluate_formula(node, ctx)
+    else:
+        started = time.perf_counter()
+        result = _evaluate_formula(node, ctx)
+        registry.histogram(
+            "eval.formula.%s.seconds" % type(node).__name__
+        ).observe(time.perf_counter() - started)
+    if cache is not None:
+        if registry.enabled:
+            registry.counter("eval.memo.formula.misses").inc()
+        cache[node] = result
     return result
 
 
@@ -181,6 +252,8 @@ def _evaluate_formula(node: Formula, ctx: EvalContext) -> np.ndarray:
         return np.maximum((2 - left).astype(np.int8), right)
     if isinstance(node, Next):
         inner = evaluate_formula(node.operand, ctx)
+        if len(inner) == 0:
+            return inner.copy()
         shifted = np.empty_like(inner)
         if len(inner) > 1:
             shifted[:-1] = inner[1:]
@@ -275,6 +348,8 @@ def _trace_func(node: TraceFunc, ctx: EvalContext) -> np.ndarray:
         return view.rate(node.signal)
     if node.kind == "prev":
         values = view.values(node.signal)
+        if len(values) == 0:
+            return values.copy()
         previous = np.empty_like(values)
         previous[0] = values[0]
         if len(values) > 1:
@@ -315,29 +390,14 @@ def _window_aggregate(
 ) -> np.ndarray:
     """Sliding min/max of ``codes`` over the time window ``[lo, hi]``.
 
-    The window is converted to row offsets on the uniform grid.  Rows
+    The window is converted to row offsets on the uniform grid and
+    aggregated by the O(n) kernels of :mod:`repro.core.windows`.  Rows
     whose window extends past the trace end aggregate against UNKNOWN
     padding, which propagates exactly the right three-valued verdict for
     truncated evidence (see :mod:`repro.core.types`).
     """
-    period = ctx.view.period
-    lo_idx = int(math.ceil(lo / period - 1e-9))
-    hi_idx = int(math.floor(hi / period + 1e-9))
-    if hi_idx < lo_idx:
-        raise EvaluationError(
-            "temporal bound [%g, %g] s contains no sample at a period of "
-            "%g s" % (lo, hi, period)
-        )
-    n = len(codes)
-    width = hi_idx - lo_idx + 1
-    padded = np.concatenate(
-        [codes, np.full(hi_idx, UNKNOWN_CODE, dtype=np.int8)]
-    )
-    windows = np.lib.stride_tricks.sliding_window_view(padded, width)
-    windows = windows[lo_idx : lo_idx + n]
-    if minimum:
-        return windows.min(axis=1).astype(np.int8)
-    return windows.max(axis=1).astype(np.int8)
+    lo_idx, hi_idx = bounds_to_rows(lo, hi, ctx.view.period)
+    return future_aggregate(codes, lo_idx, hi_idx, minimum=minimum)
 
 
 def _past_window_aggregate(
@@ -352,24 +412,8 @@ def _past_window_aggregate(
     Mirrors :func:`_window_aggregate` backwards: rows whose window
     precedes the start of the trace aggregate against UNKNOWN padding.
     """
-    period = ctx.view.period
-    lo_idx = int(math.ceil(lo / period - 1e-9))
-    hi_idx = int(math.floor(hi / period + 1e-9))
-    if hi_idx < lo_idx:
-        raise EvaluationError(
-            "temporal bound [%g, %g] s contains no sample at a period of "
-            "%g s" % (lo, hi, period)
-        )
-    n = len(codes)
-    width = hi_idx - lo_idx + 1
-    padded = np.concatenate(
-        [np.full(hi_idx, UNKNOWN_CODE, dtype=np.int8), codes]
-    )
-    windows = np.lib.stride_tricks.sliding_window_view(padded, width)
-    windows = windows[:n]
-    if minimum:
-        return windows.min(axis=1).astype(np.int8)
-    return windows.max(axis=1).astype(np.int8)
+    lo_idx, hi_idx = bounds_to_rows(lo, hi, ctx.view.period)
+    return past_aggregate(codes, lo_idx, hi_idx, minimum=minimum)
 
 
 def _in_state(node: InState, ctx: EvalContext) -> np.ndarray:

@@ -33,6 +33,7 @@ from repro.core.intent import IntentFilter, apply_filters
 from repro.core.parser import parse_formula
 from repro.core.statemachine import StateMachine
 from repro.core.types import (
+    FALSE_CODE,
     TRUE_CODE,
     UNKNOWN_CODE,
     Verdict,
@@ -260,6 +261,7 @@ class Monitor:
         period: float = DEFAULT_PERIOD,
         strict: bool = False,
         database=None,
+        memo: bool = True,
     ) -> None:
         ids = [rule.rule_id for rule in rules]
         if len(set(ids)) != len(ids):
@@ -267,6 +269,9 @@ class Monitor:
         self.rules: List[Rule] = list(rules)
         self.machines: List[StateMachine] = list(machines)
         self.period = period
+        #: Memoize shared subformulas across rules (see EvalContext);
+        #: off is only useful for benchmarking the ablation.
+        self.memo = memo
         machine_names = {machine.name for machine in self.machines}
         for rule in self.rules:
             for name in rule.machines():
@@ -326,7 +331,7 @@ class Monitor:
         """Check every rule against an already-built view."""
         registry = get_registry()
         registry.counter("monitor.checks").inc()
-        ctx = EvalContext(view)
+        ctx = EvalContext(view, memo=self.memo)
         with registry.span("monitor.machines"):
             for machine in self.machines:
                 ctx.machine_states[machine.name] = machine.run(ctx)
@@ -355,12 +360,19 @@ class Monitor:
             masked |= rule.warmup.mask(ctx)
         codes[masked] = TRUE_CODE
 
-        witness_signals = {
-            name: view.values(name) for name in rule.signals() if name in view
-        }
-        raw = extract_violations(
-            codes, view.times, rule.rule_id, view.period, witness_signals
-        )
+        # Witness columns are only materialized when a violation exists —
+        # the common all-satisfied rule pays nothing for them.
+        if (codes == FALSE_CODE).any():
+            witness_signals = {
+                name: view.values(name)
+                for name in rule.signals()
+                if name in view
+            }
+            raw = extract_violations(
+                codes, view.times, rule.rule_id, view.period, witness_signals
+            )
+        else:
+            raw = []
         kept, dropped = apply_filters(raw, rule.filters, ctx)
 
         if kept:

@@ -58,6 +58,7 @@ from repro.core.monitor import (
 )
 from repro.core.statemachine import StateMachine
 from repro.core.types import (
+    FALSE_CODE,
     TRUE_CODE,
     UNKNOWN_CODE,
     Verdict,
@@ -94,6 +95,10 @@ class OnlineMonitor:
         retention: seconds of history kept behind the emission frontier.
             Automatically raised to cover warm-up durations, the initial
             settle windows, and a couple of slow message periods.
+        memo: per-chunk subformula memoization — every chunk evaluates
+            each distinct subformula once across all rules (the same
+            cross-rule cache the offline monitor uses, scoped to the
+            chunk's context).
     """
 
     def __init__(
@@ -103,13 +108,15 @@ class OnlineMonitor:
         period: float = DEFAULT_PERIOD,
         min_chunk_rows: int = 50,
         retention: float = 1.0,
+        memo: bool = True,
     ) -> None:
         # Reuse the offline monitor's validation and signal bookkeeping.
-        self._offline = Monitor(rules, machines=machines, period=period)
+        self._offline = Monitor(rules, machines=machines, period=period, memo=memo)
         self.rules = self._offline.rules
         self.machines = self._offline.machines
         self.period = period
         self.min_chunk_rows = max(1, min_chunk_rows)
+        self.memo = memo
 
         reach = 0.0
         history = retention
@@ -255,7 +262,7 @@ class OnlineMonitor:
         except TraceError:
             # A required signal has not appeared yet: wait for more data.
             return []
-        ctx = EvalContext(view)
+        ctx = EvalContext(view, memo=self.memo)
         chunk_initials: Dict[str, str] = {}
         for machine in self.machines:
             resume_row, resume_state = self._machine_resume[machine.name]
@@ -338,18 +345,23 @@ class OnlineMonitor:
         progress.rows_checked += int((~masked[lo : hi + 1]).sum())
         progress.rows_unknown += int((window == UNKNOWN_CODE).sum())
 
-        witness = {
-            name: view.values(name)[lo : hi + 1]
-            for name in rule.signals()
-            if name in view
-        }
-        raw = extract_violations(
-            window,
-            view.times[lo : hi + 1],
-            rule.rule_id,
-            self.period,
-            witness,
-        )
+        # As offline: witness columns are only sliced out when the
+        # emitted window actually contains a violation.
+        if (window == FALSE_CODE).any():
+            witness = {
+                name: view.values(name)[lo : hi + 1]
+                for name in rule.signals()
+                if name in view
+            }
+            raw = extract_violations(
+                window,
+                view.times[lo : hi + 1],
+                rule.rule_id,
+                self.period,
+                witness,
+            )
+        else:
+            raw = []
         # Shift rows to view coordinates so intent filters index the
         # chunk's context correctly.
         raw = [self._shift(v, lo) for v in raw]

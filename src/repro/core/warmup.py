@@ -25,6 +25,7 @@ from repro.core.ast import Formula
 from repro.core.evaluator import EvalContext, evaluate_formula
 from repro.core.parser import parse_formula
 from repro.core.types import TRUE_CODE
+from repro.core.windows import dilate_backwards
 
 
 @dataclass(frozen=True)
@@ -44,17 +45,15 @@ class WarmupSpec:
         return cls(parse_formula(trigger_text), duration)
 
     def mask(self, ctx: EvalContext) -> np.ndarray:
-        """Boolean mask of rows to suppress (True = masked)."""
+        """Boolean mask of rows to suppress (True = masked).
+
+        The dilation runs on the O(n) window kernel — a row is masked
+        when the trigger fired within the last ``duration`` seconds.
+        """
         codes = evaluate_formula(self.trigger, ctx)
         triggered = (codes == TRUE_CODE).astype(np.int8)
         width = int(round(self.duration / ctx.view.period))
-        if width <= 0:
-            return triggered > 0
-        padded = np.concatenate(
-            [np.zeros(width, dtype=np.int8), triggered]
-        )
-        windows = np.lib.stride_tricks.sliding_window_view(padded, width + 1)
-        return windows.max(axis=1) > 0
+        return dilate_backwards(triggered, width)
 
 
 def activation_warmup(signal: str, duration: float) -> WarmupSpec:

@@ -1,0 +1,231 @@
+"""O(n) sliding-window kernels for the bounded temporal operators.
+
+Every bounded operator (``always``/``eventually`` forwards,
+``historically``/``once`` backwards) reduces to a sliding minimum or
+maximum of verdict codes over a fixed row window.  The obvious
+vectorization — a strided window view reduced along its window axis —
+is O(n·w): at the paper's 20 s hold windows (w = 1000 rows at the 20 ms
+monitor period) every operator performs ~1000 redundant comparisons per
+row.  This module provides the amortized-O(1)-per-row alternative that
+the online-monitoring literature calls for (Deshmukh et al., "Robust
+Online Monitoring of Signal Temporal Logic"): the van Herk / Gil–Werman
+block prefix/suffix scheme, in pure NumPy.
+
+The scheme partitions the padded input into blocks of the window width,
+takes a cumulative min/max from the left (``prefix``) and from the right
+(``suffix``) inside each block, and combines one element of each per
+output row — three passes over the data regardless of window width.
+
+Both kernels share the seed implementation's padding semantics exactly:
+rows whose window extends past the end (future operators) or before the
+start (past operators) of the trace aggregate against UNKNOWN padding,
+which yields the correct three-valued verdict for truncated evidence.
+The original strided kernel is retained, selectable via
+:func:`use_kernel`, as the reference implementation for differential
+tests and the benchmark ablation; outputs are byte-identical by
+construction (and checked by the fuzz suite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.types import UNKNOWN_CODE
+from repro.errors import EvaluationError
+
+#: Selectable kernel implementations (see :func:`use_kernel`).
+KERNELS = ("block", "strided")
+
+_active_kernel = "block"
+
+
+def active_kernel() -> str:
+    """Name of the kernel currently evaluating window aggregates."""
+    return _active_kernel
+
+
+def set_kernel(name: str) -> str:
+    """Select the window kernel; returns the previously active name.
+
+    ``"block"`` is the O(n) van Herk/Gil–Werman scheme (the default);
+    ``"strided"`` is the original O(n·w) strided-reduction reference.
+    """
+    global _active_kernel
+    if name not in KERNELS:
+        raise ValueError(
+            "unknown window kernel %r (choose from %s)" % (name, KERNELS)
+        )
+    previous = _active_kernel
+    _active_kernel = name
+    return previous
+
+
+class use_kernel:
+    """Context manager selecting a kernel for a ``with`` block.
+
+    >>> with use_kernel("strided"):
+    ...     report = monitor.check(trace)
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._previous = ""
+
+    def __enter__(self) -> "use_kernel":
+        self._previous = set_kernel(self.name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_kernel(self._previous)
+
+
+def bounds_to_rows(lo: float, hi: float, period: float) -> Tuple[int, int]:
+    """Convert a ``[lo, hi]`` second bound to inclusive row offsets.
+
+    The single source of truth for bound→grid conversion, shared by the
+    forward and backward aggregates (and by anything else that needs to
+    know which rows a temporal bound touches).  Raises
+    :class:`~repro.errors.EvaluationError` when the bound straddles no
+    grid sample (a window tighter than the monitor period).
+    """
+    lo_idx = int(math.ceil(lo / period - 1e-9))
+    hi_idx = int(math.floor(hi / period + 1e-9))
+    if hi_idx < lo_idx:
+        raise EvaluationError(
+            "temporal bound [%g, %g] s contains no sample at a period of "
+            "%g s" % (lo, hi, period)
+        )
+    return lo_idx, hi_idx
+
+
+# ----------------------------------------------------------------------
+# Core sliding extreme
+# ----------------------------------------------------------------------
+
+
+def _identity(dtype: np.dtype, minimum: bool):
+    """The neutral element for min/max at ``dtype`` (pads never win)."""
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        return info.max if minimum else info.min
+    return np.inf if minimum else -np.inf
+
+
+def sliding_extreme(
+    values: np.ndarray, width: int, minimum: bool
+) -> np.ndarray:
+    """O(n) sliding min/max: ``out[i] = extreme(values[i : i + width])``.
+
+    Output length is ``len(values) - width + 1`` (must be >= 0).  This is
+    the van Herk/Gil–Werman block scan: cumulative extremes from the left
+    and right of each ``width``-sized block; every window spans at most
+    two blocks, so one suffix element and one prefix element cover it.
+    """
+    if width < 1:
+        raise ValueError("window width must be >= 1, got %d" % width)
+    n = len(values)
+    out_len = n - width + 1
+    if out_len < 0:
+        raise ValueError(
+            "window of %d rows does not fit an array of %d" % (width, n)
+        )
+    if out_len == 0:
+        return np.empty(0, dtype=values.dtype)
+    if width == 1:
+        return np.array(values, dtype=values.dtype, copy=True)
+    ufunc = np.minimum if minimum else np.maximum
+    pad = (-n) % width
+    if pad:
+        ident = _identity(values.dtype, minimum)
+        padded = np.concatenate(
+            [values, np.full(pad, ident, dtype=values.dtype)]
+        )
+    else:
+        padded = np.asarray(values)
+    blocks = padded.reshape(-1, width)
+    prefix = ufunc.accumulate(blocks, axis=1).reshape(-1)
+    suffix = ufunc.accumulate(blocks[:, ::-1], axis=1)[:, ::-1].reshape(-1)
+    return ufunc(suffix[:out_len], prefix[width - 1 : width - 1 + out_len])
+
+
+def _strided_extreme(
+    values: np.ndarray, width: int, minimum: bool
+) -> np.ndarray:
+    """The original O(n·w) strided-reduction kernel (reference path)."""
+    windows = np.lib.stride_tricks.sliding_window_view(values, width)
+    if minimum:
+        return windows.min(axis=1)
+    return windows.max(axis=1)
+
+
+def _extreme(values: np.ndarray, width: int, minimum: bool) -> np.ndarray:
+    if _active_kernel == "block":
+        return sliding_extreme(values, width, minimum)
+    return _strided_extreme(values, width, minimum)
+
+
+# ----------------------------------------------------------------------
+# Padded temporal aggregates
+# ----------------------------------------------------------------------
+
+
+def future_aggregate(
+    codes: np.ndarray,
+    lo_idx: int,
+    hi_idx: int,
+    minimum: bool,
+    pad_value: int = UNKNOWN_CODE,
+) -> np.ndarray:
+    """Sliding min/max of ``codes`` over rows ``[i+lo_idx, i+hi_idx]``.
+
+    Rows whose window extends past the end of the array aggregate
+    against ``pad_value`` padding (UNKNOWN by default — the truncated
+    -evidence semantics of the bounded future operators).
+    """
+    n = len(codes)
+    if n == 0:
+        return np.empty(0, dtype=codes.dtype)
+    width = hi_idx - lo_idx + 1
+    padded = np.concatenate(
+        [codes, np.full(hi_idx, pad_value, dtype=codes.dtype)]
+    )
+    extremes = _extreme(padded, width, minimum)
+    return extremes[lo_idx : lo_idx + n].astype(codes.dtype)
+
+
+def past_aggregate(
+    codes: np.ndarray,
+    lo_idx: int,
+    hi_idx: int,
+    minimum: bool,
+    pad_value: int = UNKNOWN_CODE,
+) -> np.ndarray:
+    """Sliding min/max of ``codes`` over rows ``[i-hi_idx, i-lo_idx]``.
+
+    Mirrors :func:`future_aggregate` backwards: rows whose window
+    precedes the start of the array aggregate against ``pad_value``.
+    """
+    n = len(codes)
+    if n == 0:
+        return np.empty(0, dtype=codes.dtype)
+    width = hi_idx - lo_idx + 1
+    padded = np.concatenate(
+        [np.full(hi_idx, pad_value, dtype=codes.dtype), codes]
+    )
+    extremes = _extreme(padded, width, minimum)
+    return extremes[:n].astype(codes.dtype)
+
+
+def dilate_backwards(triggered: np.ndarray, width: int) -> np.ndarray:
+    """True wherever ``triggered`` was nonzero within the last ``width`` rows.
+
+    The warm-up mask primitive (§V-C2): a trigger row suppresses checking
+    for itself and the ``width`` rows after it.  Equivalent to a past
+    ``once[0, width]`` with zero padding before the trace start.
+    """
+    if width <= 0:
+        return triggered > 0
+    return past_aggregate(triggered, 0, width, minimum=False, pad_value=0) > 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from functools import cached_property
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -173,38 +174,153 @@ class Trace:
 
 
 class _SignalColumns:
-    """Precomputed per-signal arrays for one :class:`TraceView`."""
+    """Lazily computed per-signal arrays for one :class:`TraceView`.
 
-    __slots__ = (
-        "values",
-        "fresh",
-        "ever_fresh",
-        "update_times",
-        "delta_fresh",
-        "delta_naive",
-        "rate",
-        "fresh_age",
-    )
+    Construction stores only the signal's raw ``(timestamp, value)``
+    update arrays; every derived column is computed on first access and
+    cached (``cached_property``).  A rule set that never differences a
+    signal therefore never pays for its ``delta``/``rate``/``fresh_age``
+    columns — only the held values it actually reads.  The computations
+    themselves are byte-for-byte the original eager ones, so views built
+    lazily resample identically.
+    """
 
     def __init__(
         self,
-        values: np.ndarray,
-        fresh: np.ndarray,
-        ever_fresh: np.ndarray,
-        update_times: np.ndarray,
-        delta_fresh: np.ndarray,
-        delta_naive: np.ndarray,
-        rate: np.ndarray,
-        fresh_age: np.ndarray,
+        n: int,
+        t0: float,
+        period: float,
+        times: np.ndarray,
+        vals: np.ndarray,
     ) -> None:
-        self.values = values
-        self.fresh = fresh
-        self.ever_fresh = ever_fresh
-        self.update_times = update_times
-        self.delta_fresh = delta_fresh
-        self.delta_naive = delta_naive
-        self.rate = rate
-        self.fresh_age = fresh_age
+        self._n = n
+        self._t0 = t0
+        self._period = period
+        self._raw_times = times
+        self._raw_vals = vals
+
+    @cached_property
+    def _binned(self):
+        """Updates dropped onto the grid: fresh/has flags plus the
+        latest update value/timestamp at each fresh row."""
+        n = self._n
+        times = self._raw_times
+        vals = self._raw_vals
+        # Row at which each update becomes visible: the first grid time
+        # at or after the update timestamp.
+        bins = np.ceil((times - self._t0) / self._period - 1e-9).astype(int)
+        bins = np.clip(bins, 0, None)
+        keep = bins < n
+        bins, times, vals = bins[keep], times[keep], vals[keep]
+
+        fresh = np.zeros(n, dtype=bool)
+        has = np.zeros(n, dtype=bool)
+        val_at = np.zeros(n)
+        time_at = np.zeros(n)
+        if len(bins):
+            fresh[bins] = True
+            has[bins] = True
+            # Later updates overwrite earlier ones in the same bin because
+            # fancy-index assignment applies in order and bins are sorted.
+            val_at[bins] = vals
+            time_at[bins] = times
+        first_value = vals[0] if len(vals) else 0.0
+        first_time = times[0] if len(times) else self._t0
+        return fresh, has, val_at, time_at, first_value, first_time
+
+    @cached_property
+    def fresh(self) -> np.ndarray:
+        return self._binned[0]
+
+    @cached_property
+    def _held(self):
+        """Sample-and-hold fill: values, ever_fresh, update_times."""
+        _, has, val_at, time_at, first_value, first_time = self._binned
+        n = self._n
+        position = np.where(has, np.arange(n), -1)
+        filled = np.maximum.accumulate(position)
+        ever_fresh = filled >= 0
+        safe = np.maximum(filled, 0)
+        values = np.where(ever_fresh, val_at[safe], first_value)
+        update_times = np.where(ever_fresh, time_at[safe], first_time)
+        return values, ever_fresh, update_times
+
+    @cached_property
+    def values(self) -> np.ndarray:
+        return self._held[0]
+
+    @cached_property
+    def ever_fresh(self) -> np.ndarray:
+        return self._held[1]
+
+    @cached_property
+    def update_times(self) -> np.ndarray:
+        return self._held[2]
+
+    @cached_property
+    def delta_naive(self) -> np.ndarray:
+        n = self._n
+        values = self.values
+        delta_naive = np.zeros(n)
+        if n > 1:
+            with np.errstate(invalid="ignore"):
+                delta_naive[1:] = values[1:] - values[:-1]
+        return delta_naive
+
+    @cached_property
+    def _fresh_rows(self) -> np.ndarray:
+        return np.flatnonzero(self.fresh)
+
+    @cached_property
+    def _trend(self):
+        """Freshness-aware delta/rate: difference between the two most
+        recent fresh values, held between updates."""
+        n = self._n
+        _, _, val_at, time_at, _, _ = self._binned
+        fresh_rows = self._fresh_rows
+        delta_fresh = np.zeros(n)
+        rate = np.zeros(n)
+        if len(fresh_rows) >= 2:
+            fresh_vals = val_at[fresh_rows]
+            fresh_times = time_at[fresh_rows]
+            step_delta = np.zeros(len(fresh_rows))
+            step_rate = np.zeros(len(fresh_rows))
+            with np.errstate(invalid="ignore"):
+                dv = fresh_vals[1:] - fresh_vals[:-1]
+            dt = fresh_times[1:] - fresh_times[:-1]
+            step_delta[1:] = dv
+            with np.errstate(divide="ignore", invalid="ignore"):
+                step_rate[1:] = np.where(
+                    dt > 0, dv / np.where(dt > 0, dt, 1.0), 0.0
+                )
+            # Map each row to the index of the latest fresh row <= it.
+            order = np.searchsorted(fresh_rows, np.arange(n), side="right") - 1
+            valid = order >= 0
+            safe_order = np.maximum(order, 0)
+            delta_fresh = np.where(valid, step_delta[safe_order], 0.0)
+            rate = np.where(valid, step_rate[safe_order], 0.0)
+        return delta_fresh, rate
+
+    @cached_property
+    def delta_fresh(self) -> np.ndarray:
+        return self._trend[0]
+
+    @cached_property
+    def rate(self) -> np.ndarray:
+        return self._trend[1]
+
+    @cached_property
+    def fresh_age(self) -> np.ndarray:
+        n = self._n
+        fresh_rows = self._fresh_rows
+        if len(fresh_rows):
+            order = np.searchsorted(fresh_rows, np.arange(n), side="right") - 1
+            valid = order >= 0
+            safe_order = np.maximum(order, 0)
+            return np.where(
+                valid, np.arange(n) - fresh_rows[safe_order], np.arange(n)
+            )
+        return np.arange(n)
 
 
 class TraceView:
@@ -248,9 +364,19 @@ class TraceView:
             raise TraceError("view end precedes start")
         n_rows = int(math.floor((t1 - t0) / period + 1e-9)) + 1
         self.times = t0 + period * np.arange(n_rows)
+        # Snapshot each signal's raw update arrays now (cheap, and
+        # isolates the view from later trace mutation); the O(n_rows)
+        # column computations happen lazily on first access.
         self._columns: Dict[str, _SignalColumns] = {}
         for signal in self.signal_names:
-            self._columns[signal] = self._build_columns(trace, signal)
+            updates = trace.updates(signal)
+            self._columns[signal] = _SignalColumns(
+                n_rows,
+                float(self.times[0]),
+                self.period,
+                np.array([t for t, _ in updates]),
+                np.array([v for _, v in updates]),
+            )
 
     # ------------------------------------------------------------------
 
@@ -316,89 +442,3 @@ class TraceView:
             signal: float(self._columns[signal].values[index])
             for signal in self.signal_names
         }
-
-    # ------------------------------------------------------------------
-
-    def _build_columns(self, trace: Trace, signal: str) -> _SignalColumns:
-        n = self.n_rows
-        t0 = self.start_time
-        updates = trace.updates(signal)
-        times = np.array([t for t, _ in updates])
-        vals = np.array([v for _, v in updates])
-        # Row at which each update becomes visible: the first grid time
-        # at or after the update timestamp.
-        bins = np.ceil((times - t0) / self.period - 1e-9).astype(int)
-        bins = np.clip(bins, 0, None)
-        keep = bins < n
-        bins, times, vals = bins[keep], times[keep], vals[keep]
-
-        fresh = np.zeros(n, dtype=bool)
-        has = np.zeros(n, dtype=bool)
-        val_at = np.zeros(n)
-        time_at = np.zeros(n)
-        if len(bins):
-            fresh[bins] = True
-            has[bins] = True
-            # Later updates overwrite earlier ones in the same bin because
-            # fancy-index assignment applies in order and bins are sorted.
-            val_at[bins] = vals
-            time_at[bins] = times
-
-        position = np.where(has, np.arange(n), -1)
-        filled = np.maximum.accumulate(position)
-        ever_fresh = filled >= 0
-        safe = np.maximum(filled, 0)
-        first_value = vals[0] if len(vals) else 0.0
-        first_time = times[0] if len(times) else t0
-        values = np.where(ever_fresh, val_at[safe], first_value)
-        update_times = np.where(ever_fresh, time_at[safe], first_time)
-
-        delta_naive = np.zeros(n)
-        if n > 1:
-            with np.errstate(invalid="ignore"):
-                delta_naive[1:] = values[1:] - values[:-1]
-
-        # Freshness-aware delta: difference between the two most recent
-        # fresh values, held between updates.
-        delta_fresh = np.zeros(n)
-        rate = np.zeros(n)
-        fresh_rows = np.flatnonzero(fresh)
-        if len(fresh_rows) >= 2:
-            fresh_vals = val_at[fresh_rows]
-            fresh_times = time_at[fresh_rows]
-            step_delta = np.zeros(len(fresh_rows))
-            step_rate = np.zeros(len(fresh_rows))
-            with np.errstate(invalid="ignore"):
-                dv = fresh_vals[1:] - fresh_vals[:-1]
-            dt = fresh_times[1:] - fresh_times[:-1]
-            step_delta[1:] = dv
-            with np.errstate(divide="ignore", invalid="ignore"):
-                step_rate[1:] = np.where(dt > 0, dv / np.where(dt > 0, dt, 1.0), 0.0)
-            # Map each row to the index of the latest fresh row <= it.
-            order = np.searchsorted(fresh_rows, np.arange(n), side="right") - 1
-            valid = order >= 0
-            safe_order = np.maximum(order, 0)
-            delta_fresh = np.where(valid, step_delta[safe_order], 0.0)
-            rate = np.where(valid, step_rate[safe_order], 0.0)
-
-        fresh_age = np.zeros(n, dtype=int)
-        if len(fresh_rows):
-            order = np.searchsorted(fresh_rows, np.arange(n), side="right") - 1
-            valid = order >= 0
-            safe_order = np.maximum(order, 0)
-            fresh_age = np.where(
-                valid, np.arange(n) - fresh_rows[safe_order], np.arange(n)
-            )
-        else:
-            fresh_age = np.arange(n)
-
-        return _SignalColumns(
-            values=values,
-            fresh=fresh,
-            ever_fresh=ever_fresh,
-            update_times=update_times,
-            delta_fresh=delta_fresh,
-            delta_naive=delta_naive,
-            rate=rate,
-            fresh_age=fresh_age,
-        )

@@ -8,6 +8,7 @@ campaign-level report.  See :mod:`repro.obs.metrics` for the instruments
 and :mod:`repro.obs.schema` for the JSON snapshot format.
 """
 
+from repro.obs.bench import BENCH_SCHEMA_VERSION, bench_monitor, format_bench
 from repro.obs.metrics import (
     SCHEMA_VERSION,
     Counter,
@@ -21,9 +22,15 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
-from repro.obs.schema import require_valid_snapshot, validate_snapshot
+from repro.obs.schema import (
+    require_valid_bench_snapshot,
+    require_valid_snapshot,
+    validate_bench_snapshot,
+    validate_snapshot,
+)
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "Counter",
     "Gauge",
@@ -35,6 +42,10 @@ __all__ = [
     "get_registry",
     "set_registry",
     "use_registry",
+    "bench_monitor",
+    "format_bench",
+    "require_valid_bench_snapshot",
     "require_valid_snapshot",
+    "validate_bench_snapshot",
     "validate_snapshot",
 ]
