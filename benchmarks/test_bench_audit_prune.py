@@ -1,0 +1,106 @@
+"""E16 — audit-based static pruning: skipped work, identical letters.
+
+Runs a fixture campaign that (unlike the paper's Table I plan) contains
+statically dead (injection x rule) cells — rules over exogenous driver
+signals crossed with tests that only inject controller inputs — first
+in full, then with ``prune="audit"``.  The artifact records:
+
+* the wall clock for both legs and the time saved by skipping the
+  dead tests' simulations entirely;
+* the audit overhead itself (graph construction + reachability for
+  every test), measured separately — milliseconds against seconds of
+  simulation per skipped test;
+* the contract: both letter matrices are **identical**.
+
+The paper campaign is deliberately not used here: the audit proves it
+has zero dead cells (every Table I target reaches every rule), so
+pruning it is a byte-identical no-op — asserted by the CI smoke, not
+worth a benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.monitor import Rule
+from repro.testing.campaign import InjectionTest, RobustnessCampaign
+
+#: Same seed as every other reproduction artifact (see conftest.py).
+SEED = 2014
+
+# Nominal-clean rules (the pruning soundness precondition) over the
+# two exogenous driver signals: nothing in the loop produces them, so
+# only a direct injection can perturb either rule.
+RULES = [
+    Rule.from_text("set_bound", "set speed bound", "ACCSetSpeed < 50"),
+    Rule.from_text("headway_sel", "headway selector", "SelHeadway >= 1"),
+]
+
+# Three of the five tests inject only controller inputs the rules never
+# watch: those tests are fully dead and their simulations are skipped.
+TESTS = [
+    InjectionTest("Random Velocity", "Random", ("Velocity",)),
+    InjectionTest("Random ThrotPos", "Random", ("ThrotPos",)),
+    InjectionTest("Bitflips Velocity", "Bitflips", ("Velocity",)),
+    InjectionTest("Random ACCSetSpeed", "Random", ("ACCSetSpeed",)),
+    InjectionTest("Random SelHeadway", "Random", ("SelHeadway",)),
+]
+
+
+def _campaign(prune=None) -> RobustnessCampaign:
+    return RobustnessCampaign(
+        rules=RULES,
+        seed=SEED,
+        hold_time=2.0,
+        gap_time=0.5,
+        settle_time=8.0,
+        prune=prune,
+    )
+
+
+def test_audit_prune_speedup(publish):
+    started = time.perf_counter()
+    full = _campaign().run_table1(tests=TESTS)
+    full_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pruned_campaign = _campaign(prune="audit")
+    pruned = pruned_campaign.run_table1(tests=TESTS)
+    pruned_s = time.perf_counter() - started
+
+    # The audit overhead alone: fresh graph + a decision per test.
+    started = time.perf_counter()
+    decisions = [
+        _campaign(prune="audit").dead_rule_ids(test) for test in TESTS
+    ]
+    audit_s = time.perf_counter() - started
+
+    full_letters = [row.letters for row in full.rows]
+    pruned_letters = [row.letters for row in pruned.rows]
+    identical = pruned_letters == full_letters
+
+    dead_cells = sum(len(d) for d in decisions)
+    dead_tests = sum(1 for d in decisions if len(d) == len(RULES))
+    speedup = full_s / pruned_s if pruned_s > 0 else float("inf")
+
+    lines = [
+        "AUDIT-BASED STATIC PRUNING (E16)",
+        "fixture: %d rules x %d tests (%d cells)"
+        % (len(RULES), len(TESTS), len(RULES) * len(TESTS)),
+        "statically dead: %d cell(s), %d fully dead test(s)"
+        % (dead_cells, dead_tests),
+        "",
+        "full campaign:   %7.2f s" % full_s,
+        "pruned campaign: %7.2f s  (%.2fx)" % (pruned_s, speedup),
+        "audit decisions: %7.4f s (graph + %d reachability queries)"
+        % (audit_s, len(TESTS)),
+        "",
+        "letter matrices identical: %s" % identical,
+    ]
+    publish("audit_prune.txt", "\n".join(lines))
+
+    assert identical
+    assert dead_cells >= 1
+    assert dead_tests >= 1
+    # The audit must cost far less than the work it saves.
+    assert audit_s < full_s

@@ -30,6 +30,16 @@ from repro.analysis.analyzer import (
     lint_rules,
     lint_specs,
 )
+from repro.analysis.audit import (
+    AuditReport,
+    CampaignPlan,
+    audit_rules,
+    audit_specs,
+    contradicts,
+    implies,
+    negate,
+    paper_plan,
+)
 from repro.analysis.catalog import CATALOG, CatalogEntry, make_diagnostic
 from repro.analysis.checks import LintContext, formula_status
 from repro.analysis.diagnostics import (
@@ -47,37 +57,57 @@ from repro.analysis.intervals import (
     compare,
     expr_interval,
 )
+from repro.analysis.depgraph import DependencyGraph, FlowEdge, fsracc_flow
 from repro.analysis.schema import (
+    AUDIT_SCHEMA_VERSION,
     SCHEMA_VERSION,
+    build_audit_report,
     build_report,
+    require_valid_audit_report,
     require_valid_report,
+    validate_audit_report,
     validate_report,
 )
 
 __all__ = [
     "ALWAYS",
+    "AUDIT_SCHEMA_VERSION",
+    "AuditReport",
     "CATALOG",
+    "CampaignPlan",
     "CatalogEntry",
+    "DependencyGraph",
     "Diagnostic",
+    "FlowEdge",
     "Interval",
     "LintContext",
     "MAYBE",
     "NEVER",
     "SCHEMA_VERSION",
     "Severity",
+    "audit_rules",
+    "audit_specs",
+    "build_audit_report",
     "build_context",
     "build_report",
     "compare",
+    "contradicts",
     "count_by_severity",
     "database_env",
     "expr_interval",
     "formula_status",
+    "fsracc_flow",
     "has_errors",
+    "implies",
     "lint_file",
     "lint_rules",
     "lint_specs",
     "make_diagnostic",
+    "negate",
+    "paper_plan",
+    "require_valid_audit_report",
     "require_valid_report",
     "sort_diagnostics",
+    "validate_audit_report",
     "validate_report",
 ]

@@ -15,6 +15,17 @@ Code blocks:
 * ``SL5xx`` — warm-up hazards (§V-C2);
 * ``SL6xx`` — state-machine structure;
 * ``SL7xx`` — spec-set level (duplicates, shadowing).
+
+The cross-artifact auditor (``repro audit``, :mod:`repro.analysis.audit`)
+owns the ``AU`` range:
+
+* ``AU1xx`` — rule-set verification (contradiction, subsumption,
+  set-level vacuity, duplicate coverage);
+* ``AU2xx`` — monitoring coverage (unreferenced signals, states, modes);
+* ``AU3xx`` — injection-plan static checks (degenerate values, oversized
+  flip masks, unknown targets, statically dead injections);
+* ``AU4xx`` — cross-artifact consistency (checker registry, sampling
+  rates, unexercised rules).
 """
 
 from __future__ import annotations
@@ -237,6 +248,147 @@ CATALOG: Dict[str, CatalogEntry] = {
             "Two rules evaluate the same effective formula (gate folded "
             "in): one shadows the other in reports and doubles its cost.",
             "a gated rule repeated with the same gate and formula",
+        ),
+        # ------------------------------------------------------------------
+        # AU codes — the cross-artifact auditor (repro audit).
+        # ------------------------------------------------------------------
+        _entry(
+            "AU101",
+            Severity.ERROR,
+            "contradictory rules",
+            "Two rules sharing a gate have formulas that statically "
+            "conflict under the DBC ranges: any in-range row satisfying "
+            "one violates the other, so every gated row of every "
+            "campaign reports at least one violation regardless of the "
+            "system's behaviour.",
+            "Velocity >= 0 in one rule, Velocity < 0 in another",
+        ),
+        _entry(
+            "AU102",
+            Severity.WARNING,
+            "rule subsumed by another",
+            "One rule's formula statically implies another's (same "
+            "gate): every trace violating the weaker rule also violates "
+            "the stronger one, so the weaker rule adds no detection "
+            "power to the set.",
+            "Velocity < 100 alongside Velocity < 50",
+        ),
+        _entry(
+            "AU103",
+            Severity.WARNING,
+            "statically unfalsifiable rule",
+            "A rule's effective formula (gate folded in) holds for every "
+            "in-range value: only out-of-range injections could ever "
+            "falsify it, so as specified intent the rule is set-level "
+            "dead weight.",
+            "formula = Velocity < 500 with Velocity in [-10, 120]",
+        ),
+        _entry(
+            "AU104",
+            Severity.INFO,
+            "overlapping signal coverage",
+            "Two or more rules monitor the identical signal set; not "
+            "wrong, but worth checking they genuinely test different "
+            "properties of the same signals.",
+            "rule3 and rule4 both over {Velocity, ACCSetSpeed, "
+            "RequestedTorque, ACCEnabled}",
+        ),
+        _entry(
+            "AU201",
+            Severity.WARNING,
+            "unmonitored signal",
+            "A DBC signal is referenced by no rule and no machine guard: "
+            "every Table I cell targeting it is blind unless the fault "
+            "propagates into a monitored signal.",
+            "AccelPedPos with no rule mentioning it",
+        ),
+        _entry(
+            "AU202",
+            Severity.WARNING,
+            "unmonitored machine state",
+            "A declared state-machine state is referenced by no rule's "
+            "in_state() atom: the machine computes it, but no property "
+            "binds while the system is in it.",
+            "state 'fault' declared but never used by a rule",
+        ),
+        _entry(
+            "AU203",
+            Severity.INFO,
+            "ACC operating mode not modelled",
+            "An ACC operating mode (off / standby / engaged / fault) "
+            "has no corresponding state in any spec state machine, so "
+            "the rule set cannot express mode-specific properties for "
+            "it (modal blindness, paper §V-B).",
+            "no [machine] section at all, or one missing a 'fault' state",
+        ),
+        _entry(
+            "AU301",
+            Severity.INFO,
+            "exceptional values degenerate",
+            "A Ballista test cannot deliver its exceptional values: "
+            "bool/enum targets fall back to random valid values (the "
+            "paper's own concession to HIL type checking), and float "
+            "targets lose the dictionary entries the profile's DBC "
+            "range check rejects as out-of-range no-ops.",
+            "Ballista SelHeadway (enum), or Ballista Velocity losing "
+            "the 2^32 boundary values to [-10, 120]",
+        ),
+        _entry(
+            "AU302",
+            Severity.WARNING,
+            "flip mask wider than field",
+            "A bit-flip test requests more distinct flip bits than the "
+            "target signal's field holds: the scheduled sizes are "
+            "clamped or skipped, so the row label overstates the faults "
+            "actually injected.",
+            "mBitflip4 on the 1-bit VehicleAhead",
+        ),
+        _entry(
+            "AU303",
+            Severity.ERROR,
+            "unknown injection target",
+            "An injection test targets a signal the CAN database does "
+            "not define; the harness would raise mid-campaign, after "
+            "earlier rows already ran.",
+            "Random Velocty (misspelling Velocity)",
+        ),
+        _entry(
+            "AU304",
+            Severity.WARNING,
+            "statically dead injection",
+            "No signal influenced by a test's injections (through the "
+            "controller/plant dependency graph) is referenced by one or "
+            "more rules: those (injection x rule) cells cannot differ "
+            "from an uninjected run.",
+            "injecting ThrotPos against a rule set that never reads it",
+        ),
+        _entry(
+            "AU401",
+            Severity.ERROR,
+            "unknown checker profile",
+            "The campaign plan names an injection type-checker profile "
+            "the registry does not define; the campaign would fail at "
+            "construction.",
+            "profile = dspace with only hil/vehicle registered",
+        ),
+        _entry(
+            "AU402",
+            Severity.WARNING,
+            "monitor undersamples signal",
+            "The campaign's monitor period is longer than the broadcast "
+            "period of a rule-referenced signal: updates arrive faster "
+            "than the monitor samples, so transient violations can fall "
+            "between rows (the inverse of the §V-C1 trap).",
+            "a 100 ms monitor period over 20 ms broadcast messages",
+        ),
+        _entry(
+            "AU403",
+            Severity.WARNING,
+            "rule unexercised by campaign plan",
+            "No test in the campaign plan injects any signal that "
+            "reaches the rule in the dependency graph: the whole "
+            "campaign cannot falsify it, only nominal behaviour can.",
+            "a rule over AccelPedPos in a plan that never injects it",
         ),
     )
 }

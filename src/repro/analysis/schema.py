@@ -1,4 +1,4 @@
-"""The lint report JSON format — documentation and validation.
+"""The lint and audit report JSON formats — documentation and validation.
 
 ``repro lint --format json`` emits one report object::
 
@@ -16,10 +16,30 @@
       "counts": {"error": 0, "warning": 1, "info": 2}
     }
 
+``repro audit --format json`` emits the companion ``repro.audit/v1``
+object: the same target/counts envelope, but each target carries its
+diagnostics split into the three analysis-family ``sections``
+(``rules``/``coverage``/``plan``) plus an integer ``summary`` block::
+
+    {
+      "schema": "repro.audit/v1",
+      "targets": [
+        {"name": "paper rules (strict)",
+         "sections": {"rules": [...], "coverage": [...], "plan": [...]},
+         "summary": {"rules": 7, "signals": 17, "monitored_signals": 13,
+                     "tests": 32, "dead_tests": 0, "prunable_cells": 0,
+                     "machines": 0},
+         "counts": {"error": 0, "warning": 6, "info": 9}},
+        ...
+      ],
+      "counts": {"error": 0, "warning": 6, "info": 9}
+    }
+
 Validation is hand-rolled like :mod:`repro.obs.schema` (zero-dependency
-beyond numpy): :func:`validate_report` returns a list of problems, and
-:func:`require_valid_report` raises — the CI ``lint-specs`` job calls the
-latter over the bundled and example spec files.
+beyond numpy): :func:`validate_report` / :func:`validate_audit_report`
+return a list of problems, and the ``require_*`` variants raise — the CI
+``lint-specs`` and ``audit`` jobs call the latter over the bundled and
+example spec files.
 """
 
 from __future__ import annotations
@@ -34,6 +54,12 @@ from repro.analysis.diagnostics import (
 
 #: Identifier of the report format this module reads and writes.
 SCHEMA_VERSION = "repro.lint/v1"
+
+#: Identifier of the cross-artifact audit report format.
+AUDIT_SCHEMA_VERSION = "repro.audit/v1"
+
+#: Section keys of an audit target, in order (one per analysis family).
+AUDIT_SECTIONS = ("rules", "coverage", "plan")
 
 _SEVERITIES = tuple(severity.value for severity in Severity)
 
@@ -75,13 +101,18 @@ def _validate_counts(owner: str, counts: object) -> List[str]:
     return problems
 
 
-def _validate_diagnostic(owner: str, dump: object) -> List[str]:
+def _validate_diagnostic(
+    owner: str, dump: object, prefixes: Tuple[str, ...] = ("SL",)
+) -> List[str]:
     if not isinstance(dump, dict):
         return ["%s diagnostics must be objects" % owner]
     problems = []
     code = dump.get("code")
-    if not (isinstance(code, str) and code.startswith("SL")):
-        problems.append("%s diagnostic code %r is not an SL code" % (owner, code))
+    if not (isinstance(code, str) and code.startswith(prefixes)):
+        problems.append(
+            "%s diagnostic code %r is not a %s code"
+            % (owner, code, "/".join(prefixes))
+        )
     if dump.get("severity") not in _SEVERITIES:
         problems.append(
             "%s diagnostic severity %r invalid" % (owner, dump.get("severity"))
@@ -158,4 +189,113 @@ def require_valid_report(report: object) -> Dict[str, object]:
     problems = validate_report(report)
     if problems:
         raise ValueError("invalid lint report: %s" % "; ".join(problems))
+    return report  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# The audit report format (repro.audit/v1)
+# ----------------------------------------------------------------------
+
+
+def build_audit_report(reports: Sequence) -> Dict[str, object]:
+    """Assemble the JSON report for :class:`~repro.analysis.audit.
+    AuditReport` objects (anything exposing ``to_dict()`` works)."""
+    target_dumps = []
+    totals = {severity: 0 for severity in _SEVERITIES}
+    for report in reports:
+        dump = report.to_dict()
+        for severity, count in dump["counts"].items():
+            totals[severity] += count
+        target_dumps.append(dump)
+    return {
+        "schema": AUDIT_SCHEMA_VERSION,
+        "targets": target_dumps,
+        "counts": totals,
+    }
+
+
+def validate_audit_report(report: object) -> List[str]:
+    """All the ways ``report`` fails to be a valid audit report."""
+    if not isinstance(report, dict):
+        return ["report must be a JSON object, got %s" % type(report).__name__]
+    problems: List[str] = []
+    if report.get("schema") != AUDIT_SCHEMA_VERSION:
+        problems.append(
+            "schema must be %r, got %r"
+            % (AUDIT_SCHEMA_VERSION, report.get("schema"))
+        )
+    targets = report.get("targets")
+    if not isinstance(targets, list):
+        return problems + ["missing or non-array 'targets'"]
+    problems.extend(_validate_counts("report", report.get("counts")))
+    totals = {severity: 0 for severity in _SEVERITIES}
+    for target in targets:
+        if not isinstance(target, dict):
+            problems.append("targets must be objects")
+            continue
+        name = target.get("name")
+        if not isinstance(name, str):
+            problems.append("target needs a string 'name'")
+            name = "<unnamed>"
+        owner = "target %r" % name
+        sections = target.get("sections")
+        if not isinstance(sections, dict):
+            problems.append("%s needs a 'sections' object" % owner)
+            sections = {}
+        for key in sections:
+            if key not in AUDIT_SECTIONS:
+                problems.append("%s has unknown section %r" % (owner, key))
+        seen = {severity: 0 for severity in _SEVERITIES}
+        for section in AUDIT_SECTIONS:
+            diagnostics = sections.get(section, [])
+            if not isinstance(diagnostics, list):
+                problems.append(
+                    "%s section %r must be an array" % (owner, section)
+                )
+                continue
+            for dump in diagnostics:
+                problems.extend(
+                    _validate_diagnostic(owner, dump, prefixes=("AU",))
+                )
+                if isinstance(dump, dict) and dump.get("severity") in seen:
+                    seen[dump["severity"]] += 1
+        summary = target.get("summary")
+        if not isinstance(summary, dict):
+            problems.append("%s needs a 'summary' object" % owner)
+        else:
+            for key, value in summary.items():
+                if (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    problems.append(
+                        "%s summary %r must be a non-negative integer"
+                        % (owner, key)
+                    )
+        problems.extend(_validate_counts(owner, target.get("counts")))
+        if isinstance(target.get("counts"), dict):
+            for severity in _SEVERITIES:
+                declared = target["counts"].get(severity)
+                if isinstance(declared, int) and declared != seen[severity]:
+                    problems.append(
+                        "%s declares %r %s findings but lists %d"
+                        % (owner, declared, severity, seen[severity])
+                    )
+                totals[severity] += seen[severity]
+    if isinstance(report.get("counts"), dict) and not problems:
+        for severity in _SEVERITIES:
+            if report["counts"].get(severity) != totals[severity]:
+                problems.append(
+                    "report declares %r %s findings but targets sum to %d"
+                    % (report["counts"].get(severity), severity, totals[severity])
+                )
+    return problems
+
+
+def require_valid_audit_report(report: object) -> Dict[str, object]:
+    """Validate and return ``report``; raise ``ValueError`` otherwise."""
+    problems = validate_audit_report(report)
+    if problems:
+        raise ValueError("invalid audit report: %s" % "; ".join(problems))
     return report  # type: ignore[return-value]

@@ -144,6 +144,25 @@ class CanDatabase:
         """All signal names known to the database."""
         return tuple(sorted(self._signal_home))
 
+    def signals(self) -> Iterator[SignalDef]:
+        """All signal definitions, in message-id then payload order."""
+        for message in self.messages():
+            for signal in sorted(message.signals, key=lambda s: s.start_bit):
+                yield signal
+
+    def senders(self) -> Tuple[str, ...]:
+        """All distinct producing nodes, sorted."""
+        return tuple(sorted({m.sender for m in self._by_id.values()}))
+
+    def signals_from(self, sender: str) -> Tuple[str, ...]:
+        """Names of every signal produced by ``sender``, in id order."""
+        return tuple(
+            signal.name
+            for message in self.messages()
+            if message.sender == sender
+            for signal in sorted(message.signals, key=lambda s: s.start_bit)
+        )
+
     def __contains__(self, signal_name: str) -> bool:
         return signal_name in self._signal_home
 

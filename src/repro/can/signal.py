@@ -112,6 +112,31 @@ class SignalDef:
         """Largest raw (unsigned integer) field value."""
         return (1 << self.bit_length) - 1
 
+    def physical_range(self) -> Tuple[Optional[float], Optional[float]]:
+        """The ``(lo, hi)`` physical value range, ``None`` for unbounded.
+
+        Booleans are always ``(0, 1)``; enums fall back to their label
+        table when no explicit bounds exist.  This is the range the
+        static analyzer seeds interval arithmetic from and the range the
+        HIL profile's value check enforces.
+        """
+        if self.kind is SignalType.BOOL:
+            return (0.0, 1.0)
+        lo = None if self.minimum is None else float(self.minimum)
+        hi = None if self.maximum is None else float(self.maximum)
+        if self.kind is SignalType.ENUM and self.enum_labels:
+            if lo is None:
+                lo = float(min(self.enum_labels))
+            if hi is None:
+                hi = float(max(self.enum_labels))
+        return (lo, hi)
+
+    def clipped_flip_sizes(self, sizes: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The requested flip sizes that exceed this signal's bit width
+        (the ones :func:`~repro.testing.bitflip.bitflip_schedule` skips
+        and multi-signal plans clamp)."""
+        return tuple(size for size in sizes if size > self.bit_length)
+
     def default_value(self) -> SignalValue:
         """A benign default physical value for this signal."""
         if self.kind is SignalType.FLOAT:

@@ -218,6 +218,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_cmd.set_defaults(handler=_cmd_lint)
 
+    audit_cmd = sub.add_parser(
+        "audit",
+        help=(
+            "cross-artifact campaign audit: rule-set verification, "
+            "monitoring coverage, and injection-plan checks"
+        ),
+    )
+    audit_cmd.add_argument(
+        "files",
+        nargs="*",
+        help=(
+            ".rules files to audit; with no files the bundled paper "
+            "rules are audited against the full Table I plan"
+        ),
+    )
+    audit_cmd.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="audit the relaxed paper-rule variants (no effect with files)",
+    )
+    audit_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    audit_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on error-level findings (same gate as lint)",
+    )
+    audit_cmd.add_argument(
+        "--profile",
+        default="hil",
+        help=(
+            "checker profile name the plan will run under (free-form; "
+            "unknown names are themselves an audit finding)"
+        ),
+    )
+    audit_cmd.add_argument(
+        "--period",
+        type=float,
+        default=None,
+        help="monitor sampling period in seconds (default: plan period)",
+    )
+    audit_cmd.set_defaults(handler=_cmd_audit)
+
     repro_cmd = sub.add_parser(
         "reproduce",
         help="regenerate the paper's core results and judge the reproduction",
@@ -285,6 +332,16 @@ def _build_parser() -> argparse.ArgumentParser:
     table_cmd.add_argument(
         "--limit", type=int, default=None,
         help="run only the first N rows (smoke testing)",
+    )
+    table_cmd.add_argument(
+        "--prune",
+        choices=("audit",),
+        default=None,
+        help=(
+            "skip (injection x rule) cells the audit dependency graph "
+            "proves statically dead; the letter matrix is identical to "
+            "a full run for nominal-clean rule sets"
+        ),
     )
     table_cmd.add_argument(
         "--metrics-out",
@@ -445,6 +502,48 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        CampaignPlan,
+        audit_specs,
+        build_audit_report,
+        paper_plan,
+    )
+
+    plan = paper_plan()
+    if args.profile != plan.profile:
+        plan = CampaignPlan(
+            tests=plan.tests, profile=args.profile, period=plan.period
+        )
+
+    if args.files:
+        targets = [
+            (path, _load_specset(path, relaxed=False)) for path in args.files
+        ]
+    else:
+        variant = "relaxed" if args.relaxed else "strict"
+        targets = [("paper rules (%s)" % variant, paper_specset(args.relaxed))]
+
+    reports = [
+        audit_specs(
+            specs, plan=plan, period=args.period, target=name
+        )
+        for name, specs in targets
+    ]
+    failed = any(report.failed for report in reports)
+
+    if args.format == "json":
+        print(json.dumps(build_audit_report(reports), indent=2))
+    else:
+        for index, report in enumerate(reports):
+            if index:
+                print()
+            print(report.format_text())
+        if failed and args.strict:
+            print("\naudit failed: error-level findings present")
+    return 1 if failed and args.strict else 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.testing.reproducer import reproduce
 
@@ -473,6 +572,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         hold_time=args.hold,
         gap_time=args.gap,
         settle_time=args.settle,
+        prune=args.prune,
     )
     tests = single_signal_tests() if args.quick else table1_tests()
     if args.limit is not None:

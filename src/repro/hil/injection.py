@@ -112,10 +112,26 @@ class InjectionHarness:
         """Enable a bit-flip override for ``signal_name``.
 
         ``bit_offsets`` are positions inside the signal's raw field; they
-        are XOR-applied to every transmission while enabled.
+        are XOR-applied to every transmission while enabled.  A mask
+        naming more distinct bits than the field holds, a duplicate
+        offset (which would XOR back to a no-op), or an offset outside
+        the field raises :class:`~repro.errors.InjectionError` — the
+        same conditions the auditor reports statically as AU302.
         """
         signal = self._signal(signal_name)
-        for offset in bit_offsets:
+        offsets = tuple(bit_offsets)
+        if len(offsets) > signal.bit_length:
+            raise InjectionError(
+                "%s: flip mask names %d bits but the field is only "
+                "%d bit(s) wide"
+                % (signal_name, len(offsets), signal.bit_length)
+            )
+        if len(set(offsets)) != len(offsets):
+            raise InjectionError(
+                "%s: duplicate bit offsets in flip mask %r"
+                % (signal_name, offsets)
+            )
+        for offset in offsets:
             if not 0 <= offset < signal.bit_length:
                 raise InjectionError(
                     "%s: bit offset %d outside %d-bit field"
@@ -125,7 +141,7 @@ class InjectionHarness:
         self._active[signal_name] = ActiveInjection(
             signal=signal_name,
             mode=InjectionMode.BITFLIP,
-            bit_offsets=tuple(bit_offsets),
+            bit_offsets=offsets,
         )
 
     def inject_stick(self, signal_name: str) -> None:

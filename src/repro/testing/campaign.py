@@ -28,7 +28,7 @@ from repro.hil.simulator import HilSimulator
 from repro.hil.typecheck import HIL_PROFILE, InjectionTypeChecker
 from repro.logs.trace import Trace
 from repro.obs import get_registry
-from repro.rules.safety_rules import RULE_IDS, paper_rules
+from repro.rules.safety_rules import paper_rules
 from repro.testing.ballista import ballista_values
 from repro.testing.bitflip import (
     FLIPS_PER_SIZE,
@@ -68,10 +68,14 @@ class InjectionTest:
 
 @dataclass
 class TestOutcome:
-    """Result of running one injection test."""
+    """Result of running one injection test.
+
+    ``report`` is ``None`` when audit pruning skipped the whole test
+    (every rule statically dead for its targets — see ``prune``).
+    """
 
     test: InjectionTest
-    report: MonitorReport
+    report: Optional[MonitorReport]
     letters: Dict[str, str]
     collisions: int
     rejections: int
@@ -141,6 +145,14 @@ class RobustnessCampaign:
     simulator *and* its own :class:`Monitor`, so outcomes cannot bleed
     between tests and instances are safe to ship to worker processes
     (see :mod:`repro.testing.parallel`).
+
+    ``prune="audit"`` enables static injection pruning: (injection x
+    rule) cells the :class:`~repro.analysis.depgraph.DependencyGraph`
+    proves unreachable are reported ``"S"`` without monitoring them, and
+    tests whose every cell is dead skip their simulation entirely.  The
+    letter matrix is identical to a full run for any nominal-clean rule
+    set (see :meth:`dead_rule_ids`); the ``campaign.pruned_cells`` /
+    ``campaign.pruned_tests`` counters record what was skipped.
     """
 
     def __init__(
@@ -152,7 +164,12 @@ class RobustnessCampaign:
         gap_time: float = GAP_TIME,
         settle_time: float = SETTLE_TIME,
         keep_traces: bool = False,
+        prune: Optional[str] = None,
     ) -> None:
+        if prune not in (None, "audit"):
+            raise ValueError(
+                "unknown prune mode %r; expected None or 'audit'" % (prune,)
+            )
         self.rules = list(rules) if rules is not None else paper_rules()
         self.checker = checker
         self.seed = seed
@@ -160,9 +177,18 @@ class RobustnessCampaign:
         self.gap_time = gap_time
         self.settle_time = settle_time
         self.keep_traces = keep_traces
+        self.prune = prune
+        self._graph = None
         # Validate the rule set eagerly (duplicate ids, undefined
         # machines) so misconfiguration fails here, not inside a worker.
         self.make_monitor()
+
+    def __getstate__(self) -> dict:
+        # The dependency graph is a derived cache; workers rebuild it
+        # lazily from the pickled configuration.
+        state = dict(self.__dict__)
+        state["_graph"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -173,6 +199,32 @@ class RobustnessCampaign:
         processes) would couple outcomes to shared object state.
         """
         return Monitor(self.rules)
+
+    def _dependency_graph(self):
+        """The audit dependency graph over this campaign's rules
+        (built lazily; never pickled — see ``__getstate__``)."""
+        if self._graph is None:
+            from repro.analysis.depgraph import DependencyGraph
+
+            self._graph = DependencyGraph(_plan_database(), self.rules)
+        return self._graph
+
+    def dead_rule_ids(self, test: InjectionTest) -> Tuple[str, ...]:
+        """Rule ids statically unreachable from ``test``'s targets.
+
+        Empty unless ``prune="audit"``.  Unknown targets disable pruning
+        for the test so the harness raises exactly where an unpruned
+        run would.  The skipped cells are reported ``"S"`` — identical
+        to a full run whenever the rule set is nominal-clean (the rules
+        hold on an uninjected trace), which the audit's dependency
+        analysis guarantees the pruned cells cannot deviate from.
+        """
+        if self.prune != "audit":
+            return ()
+        database = _plan_database()
+        if any(target not in database for target in test.targets):
+            return ()
+        return self._dependency_graph().dead_rules(test.targets)
 
     def injection_count(self, test: InjectionTest) -> int:
         """How many injections ``test``'s plan holds (no RNG consumed)."""
@@ -207,6 +259,20 @@ class RobustnessCampaign:
         """
         registry = get_registry()
         registry.counter("campaign.tests").inc()
+        dead = set(self.dead_rule_ids(test))
+        if dead and len(dead) == len(self.rules):
+            # Every cell of the row is statically dead: no injected
+            # signal reaches any rule, so the trace is nominal by
+            # construction and the whole simulation can be skipped.
+            registry.counter("campaign.pruned_tests").inc()
+            registry.counter("campaign.pruned_cells").inc(len(dead))
+            return TestOutcome(
+                test=test,
+                report=None,
+                letters={rule.rule_id: "S" for rule in self.rules},
+                collisions=0,
+                rejections=0,
+            )
         with registry.span("campaign.test"):
             derived_seed = self._derive_seed(test.label)
             rng = np.random.default_rng(derived_seed)
@@ -230,9 +296,22 @@ class RobustnessCampaign:
                 with registry.span("campaign.sim"):
                     simulator.run_for(self.gap_time)
             result = simulator.result()
+            live = [
+                rule for rule in self.rules if rule.rule_id not in dead
+            ]
             with registry.span("campaign.check"):
-                report = self.make_monitor().check(result.trace)
-        letters = {rule_id: report.letter(rule_id) for rule_id in RULE_IDS}
+                monitor = (
+                    Monitor(live) if dead else self.make_monitor()
+                )
+                report = monitor.check(result.trace)
+        if dead:
+            registry.counter("campaign.pruned_cells").inc(len(dead))
+        letters = {
+            rule.rule_id: (
+                "S" if rule.rule_id in dead else report.letter(rule.rule_id)
+            )
+            for rule in self.rules
+        }
         registry.counter("campaign.rejections").inc(result.injection_rejections)
         registry.counter("campaign.collisions").inc(result.collisions)
         return TestOutcome(

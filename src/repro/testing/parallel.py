@@ -24,6 +24,14 @@ fresh private registry and pickles its snapshot back alongside the
 snapshots as rows complete; histogram merging is associative, so the
 campaign-level totals are independent of completion order and equal to
 a sequential run's counters.
+
+Audit pruning (``prune="audit"``) composes transparently: the prune
+mode pickles with the campaign configuration, each worker rebuilds the
+dependency graph lazily on first use (the graph itself is a derived
+cache and never crosses the process boundary), and pruning decisions
+are deterministic functions of the configuration — so a pruned parallel
+run produces the same letter matrix as a pruned sequential run, which
+in turn matches the unpruned matrix for nominal-clean rule sets.
 """
 
 from __future__ import annotations

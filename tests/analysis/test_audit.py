@@ -1,0 +1,266 @@
+"""Cross-artifact audit — prover, checks, schema, and golden output."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    audit_rules,
+    build_audit_report,
+    contradicts,
+    implies,
+    negate,
+    paper_plan,
+    require_valid_audit_report,
+    validate_audit_report,
+)
+from repro.analysis.audit import ACC_MODES, CampaignPlan
+from repro.analysis.catalog import CATALOG
+from repro.core.ast import Always, And, BoolConst, Eventually, Not, Or
+from repro.core.monitor import Rule
+from repro.core.parser import parse_formula
+from repro.core.statemachine import StateMachine
+from repro.rules.safety_rules import paper_rules
+from repro.testing.campaign import InjectionTest
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def fixture_rules():
+    """A deliberately inconsistent rule set (see test_all_codes_fire)."""
+    return [
+        Rule.from_text("rA", "a", "Velocity >= 0"),
+        Rule.from_text("rB", "b", "Velocity < 0"),
+        Rule.from_text("rC", "c", "Velocity < 50"),
+        Rule.from_text("rD", "d", "Velocity < 100"),
+        Rule.from_text("rE", "e", "Velocity < 500"),
+        Rule.from_text("rF", "f", "ACCSetSpeed < 30"),
+        Rule.from_text("rG", "g", "in_state(acc, engaged) -> Velocity >= 0"),
+    ]
+
+
+def fixture_machine():
+    return StateMachine(
+        "acc",
+        states=("off", "standby", "engaged", "degraded"),
+        initial="off",
+        transitions=[
+            ("off", "standby", "AccActive"),
+            ("standby", "engaged", "ACCEnabled"),
+        ],
+    )
+
+
+def fixture_plan():
+    return CampaignPlan(
+        tests=(
+            InjectionTest("Random Bogus", "Random", ("Bogus",)),
+            InjectionTest("Ballista SelHeadway", "Ballista", ("SelHeadway",)),
+            InjectionTest(
+                "Bitflips VehicleAhead", "Bitflips", ("VehicleAhead",)
+            ),
+            InjectionTest("Random ThrotPos", "Random", ("ThrotPos",)),
+        ),
+        profile="dspace",
+        period=0.1,
+    )
+
+
+def fixture_report():
+    return audit_rules(
+        fixture_rules(),
+        machines=[fixture_machine()],
+        plan=fixture_plan(),
+        target="inconsistent fixture",
+    )
+
+
+class TestProver:
+    def c(self, text):
+        return parse_formula(text)
+
+    def test_structural_equality(self):
+        assert implies(self.c("Velocity < 50"), self.c("Velocity < 50"))
+
+    def test_comparison_entailment(self):
+        assert implies(self.c("Velocity < 50"), self.c("Velocity < 100"))
+        assert implies(self.c("Velocity < 50"), self.c("Velocity <= 50"))
+        assert implies(self.c("Velocity > 5"), self.c("Velocity >= 5"))
+        assert implies(self.c("Velocity == 3"), self.c("Velocity < 10"))
+        assert not implies(self.c("Velocity < 100"), self.c("Velocity < 50"))
+        assert not implies(self.c("Velocity < 50"), self.c("ThrotPos < 50"))
+
+    def test_connectives(self):
+        a = self.c("Velocity < 50 and ThrotPos > 0")
+        assert implies(a, self.c("Velocity < 100"))
+        assert implies(self.c("Velocity < 50"), self.c("Velocity < 50 or ThrotPos > 0"))
+        assert implies(
+            self.c("Velocity < 40 or Velocity < 30"), self.c("Velocity < 50")
+        )
+        assert not implies(
+            self.c("Velocity < 40 or ThrotPos < 1"), self.c("Velocity < 50")
+        )
+
+    def test_implication_rewrites(self):
+        gated = self.c("ACCEnabled -> Velocity < 50")
+        assert implies(self.c("Velocity < 40"), gated)
+        assert not implies(gated, self.c("Velocity < 50"))
+
+    def test_temporal_monotonicity(self):
+        p, q = self.c("Velocity < 50"), self.c("Velocity < 100")
+        assert implies(Always(0, 10, p), Always(2, 5, q))
+        assert not implies(Always(2, 5, p), Always(0, 10, p))
+        assert implies(Eventually(2, 5, p), Eventually(0, 10, q))
+        assert implies(Always(0, 10, p), q)  # window includes now
+        assert implies(p, Eventually(0, 10, q))  # now witnesses it
+
+    def test_negation_duals(self):
+        p = self.c("Velocity < 50")
+        assert negate(p) == self.c("Velocity >= 50")
+        assert negate(Not(p)) == p
+        assert negate(And(p, p)) == Or(negate(p), negate(p))
+        assert negate(Always(0, 5, p)) == Eventually(0, 5, negate(p))
+        assert negate(BoolConst(True)) == BoolConst(False)
+        # Atoms without a classical dual stay wrapped.
+        atom = self.c("in_state(acc, on)")
+        assert negate(atom) == Not(atom)
+
+    def test_contradiction(self):
+        assert contradicts(self.c("Velocity >= 0"), self.c("Velocity < 0"))
+        assert contradicts(self.c("Velocity < 10"), self.c("Velocity > 20"))
+        assert not contradicts(self.c("Velocity < 10"), self.c("Velocity < 20"))
+
+
+class TestPaperAudit:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return audit_rules(
+            paper_rules(), plan=paper_plan(), target="paper rules (strict)"
+        )
+
+    def test_strict_clean(self, report):
+        assert not report.failed
+        assert report.counts()["error"] == 0
+
+    def test_no_pruning_on_paper_plan(self, report):
+        assert report.summary["prunable_cells"] == 0
+        assert report.summary["dead_tests"] == 0
+        assert report.summary["tests"] == 32
+
+    def test_known_advisories(self, report):
+        # The paper artifacts themselves are imperfect in documented
+        # ways: overlapping rule3/rule4 coverage, unmonitored pedals,
+        # no modal machine, degenerate Ballista rows, clipped flips.
+        assert report.codes() == (
+            "AU104",
+            "AU201",
+            "AU203",
+            "AU301",
+            "AU302",
+        )
+
+    def test_golden_text(self, report):
+        golden = (GOLDEN_DIR / "golden_audit_paper.txt").read_text()
+        assert report.format_text() + "\n" == golden
+
+
+class TestFixtureAudit:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fixture_report()
+
+    def test_all_codes_fire(self, report):
+        au_codes = tuple(
+            sorted(code for code in CATALOG if code.startswith("AU"))
+        )
+        assert report.codes() == au_codes
+
+    def test_strict_fails(self, report):
+        assert report.failed
+
+    def test_sections_route_by_family(self, report):
+        families = {"rules": "AU1", "coverage": "AU2"}
+        for section, prefix in families.items():
+            codes = {d.code for d in report.sections[section]}
+            assert codes
+            assert all(code.startswith(prefix) for code in codes)
+        plan_codes = {d.code for d in report.sections["plan"]}
+        assert all(code[:3] in ("AU3", "AU4") for code in plan_codes)
+
+    def test_golden_text(self, report):
+        golden = (GOLDEN_DIR / "golden_audit_fixture.txt").read_text()
+        assert report.format_text() + "\n" == golden
+
+    def test_contradiction_names_both_rules(self, report):
+        au101 = [d for d in report.diagnostics() if d.code == "AU101"]
+        assert len(au101) == 1
+        assert "rB" in au101[0].message
+        assert au101[0].subject == "rule rA"
+
+    def test_subsumption_direction(self, report):
+        # The *weaker* rule is the finding's subject.
+        subjects = {
+            d.subject for d in report.diagnostics() if d.code == "AU102"
+        }
+        assert "rule rD" in subjects
+        assert "rule rC" in subjects  # rB (< 0) is stronger than rC (< 50)
+
+
+class TestSummary:
+    def test_dead_test_counted(self, database):
+        # Single exogenous-signal rule + a plan that never touches it:
+        # every cell of the test is dead.
+        plan = CampaignPlan(
+            tests=(InjectionTest("Random Velocity", "Random", ("Velocity",)),)
+        )
+        report = audit_rules(
+            [Rule.from_text("r", "r", "ACCSetSpeed < 30")],
+            database=database,
+            plan=plan,
+        )
+        assert report.summary["dead_tests"] == 1
+        assert report.summary["prunable_cells"] == 1
+        assert "AU304" in report.codes()
+        assert "AU403" in report.codes()
+
+    def test_acc_modes_constant(self):
+        assert ACC_MODES == ("off", "standby", "engaged", "fault")
+
+
+class TestAuditSchema:
+    def test_round_trip(self):
+        report = fixture_report()
+        dump = build_audit_report([report])
+        # Through JSON and back, then validated.
+        parsed = json.loads(json.dumps(dump))
+        assert require_valid_audit_report(parsed) is parsed
+        assert parsed["schema"] == "repro.audit/v1"
+        assert parsed["counts"] == report.counts()
+
+    def test_validator_rejects_wrong_schema(self):
+        dump = build_audit_report([fixture_report()])
+        dump["schema"] = "repro.lint/v1"
+        assert any("schema" in p for p in validate_audit_report(dump))
+
+    def test_validator_rejects_sl_codes_in_sections(self):
+        dump = build_audit_report([fixture_report()])
+        dump["targets"][0]["sections"]["rules"][0]["code"] = "SL101"
+        assert validate_audit_report(dump)
+
+    def test_validator_rejects_bad_counts(self):
+        dump = build_audit_report([fixture_report()])
+        dump["targets"][0]["counts"]["error"] += 1
+        assert validate_audit_report(dump)
+
+    def test_validator_rejects_unknown_section(self):
+        dump = build_audit_report([fixture_report()])
+        dump["targets"][0]["sections"]["extras"] = []
+        assert any("unknown section" in p for p in validate_audit_report(dump))
+
+    def test_validator_rejects_negative_summary(self):
+        dump = build_audit_report([fixture_report()])
+        dump["targets"][0]["summary"]["rules"] = -1
+        assert any("summary" in p for p in validate_audit_report(dump))

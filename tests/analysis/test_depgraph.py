@@ -1,0 +1,137 @@
+"""Dependency graph — influence closure and rule reachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.depgraph import DependencyGraph, FlowEdge, fsracc_flow
+from repro.can.fsracc import FSRACC_ALL_INPUTS, FSRACC_OUTPUTS
+from repro.core.monitor import Rule
+from repro.core.statemachine import StateMachine
+from repro.rules.safety_rules import paper_rules
+
+
+@pytest.fixture(scope="module")
+def paper_graph(database):
+    return DependencyGraph(database, paper_rules())
+
+
+class TestFlow:
+    def test_fsracc_edge_maps_inputs_to_outputs(self, database):
+        edges = {edge.component: edge for edge in fsracc_flow(database)}
+        assert edges["fsracc"].inputs == tuple(FSRACC_ALL_INPUTS)
+        assert edges["fsracc"].outputs == tuple(FSRACC_OUTPUTS)
+
+    def test_plant_edge_covers_sensor_senders(self, database):
+        edges = {edge.component: edge for edge in fsracc_flow(database)}
+        plant = edges["plant"]
+        assert "Velocity" in plant.outputs       # chassis
+        assert "ThrotPos" in plant.outputs       # powertrain
+        assert "TargetRange" in plant.outputs    # radar
+        # Driver-operated body signals are exogenous, not plant outputs.
+        assert "ACCSetSpeed" not in plant.outputs
+        # The driver's pedals move the car.
+        assert "BrakePedPres" in plant.inputs
+
+
+class TestInfluence:
+    def test_input_influences_outputs_and_sensors(self, paper_graph):
+        reached = paper_graph.influence("Velocity")
+        assert "ACCEnabled" in reached       # through the controller
+        assert "TargetRange" in reached      # through the plant
+        assert "Velocity" in reached         # itself
+
+    def test_exogenous_signal_not_influenced(self, paper_graph):
+        # Nothing produces the driver's set speed, so no injection into
+        # another signal can perturb it.
+        for name in paper_graph.database.signal_names():
+            if name == "ACCSetSpeed":
+                continue
+            assert "ACCSetSpeed" not in paper_graph.influence(name)
+
+    def test_influence_is_reflexive_and_cached(self, paper_graph):
+        first = paper_graph.influence("ThrotPos")
+        assert "ThrotPos" in first
+        assert paper_graph.influence("ThrotPos") is first
+
+
+class TestRuleReachability:
+    def test_every_paper_target_reaches_every_rule(self, paper_graph):
+        # All paper rules reference FSRACC outputs, and every Table I
+        # target is an FSRACC input: no pruning on the paper campaign.
+        rule_ids = [rule.rule_id for rule in paper_graph.rules]
+        for target in FSRACC_ALL_INPUTS:
+            assert list(paper_graph.rules_reached((target,))) == rule_ids
+            assert paper_graph.dead_rules((target,)) == ()
+
+    def test_exogenous_only_rule_is_dead_for_other_targets(self, database):
+        graph = DependencyGraph(
+            database, [Rule.from_text("r", "r", "ACCSetSpeed < 30")]
+        )
+        assert graph.dead_rules(("Velocity",)) == ("r",)
+        assert graph.dead_rules(("ACCSetSpeed",)) == ()
+
+    def test_mixed_targets_union_influence(self, database):
+        rules = [
+            Rule.from_text("on_set", "s", "ACCSetSpeed < 30"),
+            Rule.from_text("on_vel", "v", "Velocity < 50"),
+        ]
+        graph = DependencyGraph(database, rules)
+        assert graph.rules_reached(("Velocity", "ACCSetSpeed")) == (
+            "on_set",
+            "on_vel",
+        )
+
+
+class TestRuleSignals:
+    def test_gate_and_filter_signals_counted(self, paper_graph):
+        # rule1's gate references TargetRange; the footprint must
+        # include it even though the formula does not.
+        assert "TargetRange" in paper_graph.rule_signals("rule1")
+
+    def test_machine_guard_signals_transitive(self, database):
+        machine = StateMachine(
+            "acc",
+            states=("off", "on"),
+            initial="off",
+            transitions=[("off", "on", "AccActive")],
+        )
+        rule = Rule.from_text("r", "r", "in_state(acc, on) -> Velocity >= 0")
+        graph = DependencyGraph(database, [rule], machines=[machine])
+        assert "AccActive" in graph.rule_signals("r")
+
+    def test_unknown_machine_disables_pruning_for_rule(self, database):
+        # A rule whose machine guards are out of scope has an unknown
+        # footprint: it must never be reported dead.
+        rule = Rule.from_text("r", "r", "in_state(ghost, on)")
+        graph = DependencyGraph(database, [rule])
+        assert graph.dead_rules(("Velocity",)) == ()
+
+
+class TestCoverageQueries:
+    def test_unreferenced_signals_on_paper_rules(self, paper_graph):
+        unreferenced = paper_graph.unreferenced_signals()
+        assert "AccelPedPos" in unreferenced
+        assert "ThrotPos" in unreferenced
+        assert "Velocity" not in unreferenced
+
+    def test_unreferenced_states(self, database):
+        machine = StateMachine(
+            "acc",
+            states=("off", "on"),
+            initial="off",
+            transitions=[("off", "on", "AccActive")],
+        )
+        rule = Rule.from_text("r", "r", "in_state(acc, on)")
+        graph = DependencyGraph(database, [rule], machines=[machine])
+        assert graph.unreferenced_states("acc") == ("off",)
+
+    def test_custom_flow_respected(self, database):
+        rule = Rule.from_text("r", "r", "Velocity < 50")
+        graph = DependencyGraph(
+            database,
+            [rule],
+            flow=[FlowEdge("only", ("ThrotPos",), ("Velocity",))],
+        )
+        assert graph.dead_rules(("ThrotPos",)) == ()
+        assert graph.dead_rules(("ACCSetSpeed",)) == ("r",)

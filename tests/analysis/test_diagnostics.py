@@ -86,7 +86,7 @@ class TestCatalog:
     def test_every_entry_keyed_by_its_code(self):
         for code, entry in CATALOG.items():
             assert entry.code == code
-            assert code.startswith("SL")
+            assert code.startswith(("SL", "AU"))
             assert entry.title
             assert entry.meaning
 

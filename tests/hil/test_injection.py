@@ -86,6 +86,21 @@ class TestBitflipInjection:
         with pytest.raises(InjectionError):
             harness.inject_bitflips("VehicleAhead", (1,))
 
+    def test_mask_wider_than_field_rejected(self, harness):
+        # SelHeadway is a 3-bit field: a 4-bit mask cannot fit, even
+        # before any single offset is range-checked (AU302's dynamic
+        # counterpart).
+        with pytest.raises(InjectionError, match="only 3 bit"):
+            harness.inject_bitflips("SelHeadway", (0, 1, 2, 3))
+        assert not harness.is_enabled("SelHeadway")
+
+    def test_duplicate_offsets_rejected(self, harness):
+        # A duplicated offset XORs back to a no-op — reject it rather
+        # than silently weakening the fault.
+        with pytest.raises(InjectionError, match="duplicate"):
+            harness.inject_bitflips("Velocity", (3, 3))
+        assert not harness.is_enabled("Velocity")
+
     def test_hil_profile_suppresses_invalid_enum_flips(self, database, harness):
         # SelHeadway = 2 (0b010); flipping bit 2 gives 6, an invalid enum
         # that the HIL's strong checking refuses to put on the wire.

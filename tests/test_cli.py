@@ -327,3 +327,68 @@ class TestDriveCommand:
         assert code == 0  # triage leaves the drive clean
         assert "vehicle:hills_cruise" in out
         assert (tmp_path / "vehicle_free_cruise.csv").exists()
+
+class TestAuditCommand:
+    def test_paper_rules_audit_clean_strict(self, capsys):
+        # The acceptance bar: the paper artifacts pass a strict audit.
+        assert main(["audit", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "paper rules (strict)" in out
+        assert "0 error(s)" in out
+        assert "summary:" in out
+
+    def test_json_report_is_schema_valid(self, capsys):
+        from repro.analysis import require_valid_audit_report
+
+        assert main(["audit", "--format", "json", "--strict"]) == 0
+        report = require_valid_audit_report(
+            json.loads(capsys.readouterr().out)
+        )
+        assert report["schema"] == "repro.audit/v1"
+        assert report["counts"]["error"] == 0
+
+    def test_unknown_profile_fails_strict(self, capsys):
+        # AU401 is an error, so --strict must exit nonzero...
+        assert main(["audit", "--strict", "--profile", "dspace"]) == 1
+        assert "AU401" in capsys.readouterr().out
+        # ...but without --strict the same findings only inform.
+        assert main(["audit", "--profile", "dspace"]) == 0
+        capsys.readouterr()
+
+    def test_audit_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "one.rules"
+        path.write_text(
+            "[rule g]\nformula = Velocity > 10\nsettle = 500ms\n",
+            encoding="utf-8",
+        )
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+        # A single-rule set leaves most signals unmonitored.
+        assert "AU201" in out
+
+
+class TestTable1Prune:
+    def test_pruned_paper_table_is_byte_identical(self, tmp_path, capsys):
+        # No Table I cell is statically dead, so --prune audit is a
+        # pure no-op on the paper campaign — same bytes out.
+        plain, pruned = tmp_path / "plain.txt", tmp_path / "pruned.txt"
+        argv = ["table1", "--seed", "11", "--limit", "2"] + FAST_TABLE1
+        assert main(argv + ["--out", str(plain)]) == 0
+        assert main(argv + ["--prune", "audit", "--out", str(pruned)]) == 0
+        capsys.readouterr()
+        assert pruned.read_bytes() == plain.read_bytes()
+
+    def test_prune_composes_with_jobs(self, tmp_path, capsys):
+        plain, pruned = tmp_path / "plain.txt", tmp_path / "pruned.txt"
+        argv = ["table1", "--seed", "11", "--limit", "2"] + FAST_TABLE1
+        assert main(argv + ["--out", str(plain)]) == 0
+        assert (
+            main(
+                argv
+                + ["--prune", "audit", "--jobs", "2", "--out", str(pruned)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert pruned.read_bytes() == plain.read_bytes()

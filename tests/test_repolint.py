@@ -1,0 +1,83 @@
+"""Determinism lint (``tools/repolint.py``)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "repolint", REPO_ROOT / "tools" / "repolint.py"
+)
+repolint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(repolint)
+
+
+def lint_source(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return repolint.lint_paths([str(path)])
+
+
+class TestGlobalRandom:
+    def test_unseeded_global_rng_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "mod.py", "import random\nx = random.random()\n"
+        )
+        assert [f.code for f in findings] == ["RL001"]
+        assert findings[0].line == 2
+
+    def test_seeded_instance_allowed(self, tmp_path):
+        assert not lint_source(
+            tmp_path, "mod.py", "import random\nrng = random.Random(7)\n"
+        )
+
+    def test_flagged_anywhere_not_just_core(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "cli/main.py", "import random\nrandom.shuffle([])\n"
+        )
+        assert [f.code for f in findings] == ["RL001"]
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_core(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "core/monitor.py", "import time\nt = time.time()\n"
+        )
+        assert [f.code for f in findings] == ["RL002"]
+
+    def test_datetime_now_flagged_in_testing(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "testing/campaign.py",
+            "import datetime\nnow = datetime.datetime.now()\n",
+        )
+        assert [f.code for f in findings] == ["RL002"]
+
+    def test_wall_clock_fine_outside_deterministic_subtrees(self, tmp_path):
+        assert not lint_source(
+            tmp_path, "obs/timing.py", "import time\nt = time.time()\n"
+        )
+
+    def test_monotonic_sources_fine_everywhere(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "core/monitor.py",
+            "import time\na = time.perf_counter()\nb = time.monotonic()\n",
+        )
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        assert repolint.lint_paths([str(REPO_ROOT / "src" / "repro")]) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "core" / "bad.py"
+        dirty.parent.mkdir()
+        dirty.write_text("import time\ntime.time()\n")
+        assert repolint.main([str(dirty)]) == 1
+        assert "RL002" in capsys.readouterr().out
+        assert repolint.main([str(REPO_ROOT / "src" / "repro")]) == 0
+        assert "clean" in capsys.readouterr().out

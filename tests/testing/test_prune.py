@@ -1,0 +1,145 @@
+"""Audit-based static pruning of campaign cells (``prune="audit"``).
+
+The differential tests here are the point: the pruned campaign must
+produce the *identical* letter matrix while skipping statically-dead
+(injection x rule) cells.
+"""
+
+import pytest
+
+from repro.core.monitor import Rule
+from repro.obs import MetricsRegistry, use_registry
+from repro.testing.campaign import InjectionTest, RobustnessCampaign
+from repro.testing.parallel import run_table1_parallel
+
+# Module level so the campaigns stay pickle-safe for the parallel test.
+# Both rules are nominal-clean (the nominal scenarios engage at set
+# speeds below 32 m/s and never approach 100 m/s) — the soundness
+# precondition for audit pruning.
+SET_RULE = Rule.from_text("on_set", "set speed bound", "ACCSetSpeed < 50")
+VEL_RULE = Rule.from_text("on_vel", "velocity bound", "Velocity < 100")
+
+QUICK = dict(seed=11, hold_time=2.0, gap_time=0.5, settle_time=8.0)
+
+# ACCSetSpeed is exogenous (driver-operated): injecting Velocity or
+# ThrotPos can never perturb it, so SET_RULE is dead for these tests.
+VEL_TEST = InjectionTest("Random Velocity", "Random", ("Velocity",))
+THROT_TEST = InjectionTest("Random ThrotPos", "Random", ("ThrotPos",))
+SET_TEST = InjectionTest("Random ACCSetSpeed", "Random", ("ACCSetSpeed",))
+
+FIXTURE_TESTS = [VEL_TEST, THROT_TEST, SET_TEST]
+
+
+class TestPruneConfig:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RobustnessCampaign(prune="aggressive", **QUICK)
+
+    def test_default_is_no_pruning(self):
+        campaign = RobustnessCampaign(**QUICK)
+        assert campaign.prune is None
+        assert campaign.dead_rule_ids(VEL_TEST) == ()
+
+    def test_paper_campaign_has_no_dead_cells(self):
+        # Every Table I target is an FSRACC input and every paper rule
+        # watches an FSRACC output: nothing is prunable (the audit's
+        # summary agrees — see tests/analysis/test_audit.py).
+        from repro.testing.campaign import table1_tests
+
+        campaign = RobustnessCampaign(prune="audit", **QUICK)
+        assert all(
+            campaign.dead_rule_ids(test) == () for test in table1_tests()
+        )
+
+    def test_unknown_target_disables_pruning(self):
+        campaign = RobustnessCampaign(
+            rules=[SET_RULE], prune="audit", **QUICK
+        )
+        bogus = InjectionTest("Random Bogus", "Random", ("Bogus",))
+        assert campaign.dead_rule_ids(bogus) == ()
+
+
+class TestFullyDeadTest:
+    def test_simulation_skipped(self):
+        campaign = RobustnessCampaign(
+            rules=[SET_RULE], prune="audit", **QUICK
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            outcome = campaign.run_test(VEL_TEST)
+        assert outcome.report is None
+        assert outcome.letters == {"on_set": "S"}
+        assert registry.counter("campaign.pruned_tests").value == 1
+        assert registry.counter("campaign.pruned_cells").value == 1
+        # No simulation: no injections were attempted at all.
+        assert registry.counter("campaign.injections").value == 0
+
+    def test_live_target_still_simulates(self):
+        campaign = RobustnessCampaign(
+            rules=[SET_RULE], prune="audit", **QUICK
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            outcome = campaign.run_test(SET_TEST)
+        assert outcome.report is not None
+        assert registry.counter("campaign.pruned_tests").value == 0
+        assert registry.counter("campaign.injections").value > 0
+
+
+class TestPartiallyDeadTest:
+    def test_dead_cell_skipped_live_cell_checked(self):
+        campaign = RobustnessCampaign(
+            rules=[SET_RULE, VEL_RULE], prune="audit", **QUICK
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            outcome = campaign.run_test(VEL_TEST)
+        # The simulation ran (VEL_RULE is live) but only the live rule
+        # was monitored; the dead cell is reported as silent.
+        assert outcome.report is not None
+        assert outcome.letters["on_set"] == "S"
+        assert "on_vel" in outcome.letters
+        assert registry.counter("campaign.pruned_tests").value == 0
+        assert registry.counter("campaign.pruned_cells").value == 1
+        assert outcome.report.letter("on_vel") == outcome.letters["on_vel"]
+
+    def test_pruned_report_omits_dead_rule(self):
+        campaign = RobustnessCampaign(
+            rules=[SET_RULE, VEL_RULE], prune="audit", **QUICK
+        )
+        outcome = campaign.run_test(VEL_TEST)
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            outcome.report.letter("on_set")
+
+
+class TestDifferential:
+    """Pruned and full runs must produce identical letter matrices."""
+
+    def run(self, prune, jobs=None):
+        campaign = RobustnessCampaign(
+            rules=[SET_RULE, VEL_RULE], prune=prune, **QUICK
+        )
+        if jobs:
+            table = run_table1_parallel(
+                campaign, tests=FIXTURE_TESTS, jobs=jobs
+            )
+        else:
+            table = campaign.run_table1(tests=FIXTURE_TESTS)
+        return [row.letters for row in table.rows]
+
+    def test_letters_identical_with_cells_skipped(self):
+        full = self.run(prune=None)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            pruned = self.run(prune="audit")
+        assert pruned == full
+        # The equality above is only meaningful if something was
+        # actually skipped: two fully-dead cells + one partial.
+        assert registry.counter("campaign.pruned_cells").value >= 1
+
+    def test_parallel_prune_matches_serial(self):
+        serial = self.run(prune="audit")
+        parallel = self.run(prune="audit", jobs=2)
+        assert parallel == serial

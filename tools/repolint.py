@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""repolint — AST-level determinism lint for ``src/repro``.
+
+The whole reproduction rests on two invariants the test suite can only
+probe indirectly, so this tiny linter enforces them statically (stdlib
+``ast`` only, no third-party dependencies):
+
+* **RL001 — unseeded global randomness.**  Calls through the module-level
+  ``random`` module (``random.random()``, ``random.choice(...)``, ...)
+  use the interpreter-global, wall-clock-seeded generator, which breaks
+  run-to-run reproducibility of campaigns and fuzz harnesses.  The only
+  allowed attribute is ``random.Random`` — constructing an explicitly
+  seeded instance.  (numpy's ``default_rng(seed)`` is the idiom the
+  codebase actually uses.)
+
+* **RL002 — wall-clock reads in deterministic paths.**  ``time.time()``
+  and ``datetime.now()/utcnow()/today()`` under ``core/`` or
+  ``testing/`` would leak real time into monitor verdicts or campaign
+  results.  Monotonic *duration* sources (``time.perf_counter``,
+  ``time.monotonic``) stay legal everywhere — the observability layer
+  measures wall time with them by design — and wall-clock reads outside
+  the two deterministic subtrees (CLI banners, log headers) are fine.
+
+Usage::
+
+    python tools/repolint.py [root ...]
+
+Defaults to ``src/repro`` relative to the repository root.  Prints one
+``file:line: CODE message`` per finding and exits 1 if any were found,
+0 otherwise — the CI lint job runs it next to speclint's own checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, NamedTuple, Tuple
+
+#: Attributes of the ``random`` module that do not touch the global RNG.
+ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+#: Wall-clock calls banned in deterministic subtrees: (module, attr).
+WALL_CLOCK_CALLS = (
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+)
+
+#: Path fragments whose files must stay wall-clock free.
+DETERMINISTIC_SUBTREES = (
+    os.sep + "core" + os.sep,
+    os.sep + "testing" + os.sep,
+)
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return "%s:%d: %s %s" % (self.path, self.line, self.code, self.message)
+
+
+def _call_target(node: ast.Call) -> Tuple[str, str]:
+    """``(base, attr)`` for ``base.attr(...)`` calls, else ``("", "")``.
+
+    Handles one extra attribute hop so ``datetime.datetime.now()``
+    resolves to ``("datetime", "now")``.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ("", "")
+    value = func.value
+    if isinstance(value, ast.Name):
+        return (value.id, func.attr)
+    if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+        return (value.value.id, func.attr)
+    return ("", "")
+
+
+def _check_file(path: str, source: str) -> Iterator[Finding]:
+    tree = ast.parse(source, filename=path)
+    deterministic = any(part in path for part in DETERMINISTIC_SUBTREES)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        base, attr = _call_target(node)
+        if base == "random" and attr not in ALLOWED_RANDOM_ATTRS:
+            yield Finding(
+                path,
+                node.lineno,
+                "RL001",
+                "call to random.%s uses the global wall-clock-seeded "
+                "RNG; construct a seeded random.Random or "
+                "numpy default_rng instead" % attr,
+            )
+        if deterministic and (base, attr) in WALL_CLOCK_CALLS:
+            yield Finding(
+                path,
+                node.lineno,
+                "RL002",
+                "%s.%s() reads the wall clock inside a deterministic "
+                "subtree; use an injected timestamp or "
+                "time.perf_counter for durations" % (base, attr),
+            )
+
+
+def lint_paths(roots: List[str]) -> List[Finding]:
+    """All findings under ``roots``, in path then line order."""
+    findings: List[Finding] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files = [root]
+        else:
+            files = sorted(
+                os.path.join(dirpath, name)
+                for dirpath, _, names in os.walk(root)
+                for name in names
+                if name.endswith(".py")
+            )
+        for path in files:
+            with open(path, "r", encoding="utf-8") as handle:
+                findings.extend(_check_file(path, handle.read()))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    default_root = os.path.join(os.path.dirname(here), "src", "repro")
+    roots = argv or [default_root]
+    findings = lint_paths(roots)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print("repolint: %d finding(s)" % len(findings))
+        return 1
+    print("repolint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
