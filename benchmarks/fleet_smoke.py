@@ -1,0 +1,160 @@
+"""CI fleet-smoke gate for the online monitor and fleet service.
+
+Reruns the online scaling sweep plus a reduced fleet replay, validates
+the fresh measurement and the committed baseline
+(``results/BENCH_online.json``) against the ``repro.bench.online/v1``
+schema, and fails on:
+
+* a broken memory bound — any scale whose peak per-signal buffer row
+  span exceeds ``history + horizon + min_chunk`` (hard gate, no
+  tolerance: this is the refactor's invariant);
+* buffer growth with stream length — ``buffer_flatness`` must stay ~1.0
+  (doubling the stream must not move the peak buffer);
+* a throughput-flatness regression vs the committed baseline — the
+  pre-ring-buffer trim re-recorded the retained window every chunk, and
+  that O(n*chunk) behavior shows up as sub-linear scaling here;
+* a catastrophic absolute throughput collapse (very conservative floor,
+  host-independent in practice).
+
+Like ``perf_smoke.py``, cross-host comparisons only ever use
+same-machine ratios; absolute events/s is gated by a floor any real
+host clears by an order of magnitude.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fleet_smoke.py [--rows N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import (
+    bench_online,
+    format_online_bench,
+    require_valid_online_bench_snapshot,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "results" / "BENCH_online.json"
+
+#: Catastrophic-breakage floor for single-stream feeding (any real host
+#: clears this by an order of magnitude).
+MIN_EVENTS_PER_SECOND = 20_000.0
+
+#: Doubling the stream may not grow the peak buffer by more than 5%
+#: (it should not grow at all; the slack absorbs boundary rounding).
+MAX_BUFFER_FLATNESS = 1.05
+
+#: A regression is flagged when fresh throughput flatness drops below
+#: the committed baseline's divided by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=4000,
+        help="rows per signal at scale 1 (default 4000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repeats per scale (best-of, default 2)",
+    )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=8,
+        help="streams for the fleet replay section (default 8)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="committed baseline snapshot (default results/BENCH_online.json)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the fresh snapshot here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = require_valid_online_bench_snapshot(
+        bench_online(
+            rows=args.rows, repeats=args.repeats, fleet_streams=args.streams
+        )
+    )
+    print(format_online_bench(fresh))
+    print()
+    if args.out is not None:
+        args.out.write_text(json.dumps(fresh, indent=2) + "\n", encoding="utf-8")
+        print("snapshot written to %s" % args.out)
+
+    failures = []
+
+    # Hard gate: the bounded-memory invariant, at every scale.  (The
+    # schema validator enforces this too; restating it here keeps the
+    # failure message actionable when it fires.)
+    for entry in fresh["runs"]:
+        if entry["peak_span_rows"] > entry["max_buffer_rows"]:
+            failures.append(
+                "scale %dx: peak buffer span %d rows exceeds the %d-row bound"
+                % (entry["scale"], entry["peak_span_rows"], entry["max_buffer_rows"])
+            )
+
+    flatness = fresh["ratios"]["buffer_flatness"]
+    if flatness > MAX_BUFFER_FLATNESS:
+        failures.append(
+            "peak buffer grew %.2fx with stream length (max %.2fx): "
+            "memory is not bounded" % (flatness, MAX_BUFFER_FLATNESS)
+        )
+
+    slowest = min(entry["events_per_second"] for entry in fresh["runs"])
+    if slowest < MIN_EVENTS_PER_SECOND:
+        failures.append(
+            "feed throughput %.0f events/s is below the %.0f floor"
+            % (slowest, MIN_EVENTS_PER_SECOND)
+        )
+
+    if args.baseline.exists():
+        baseline = require_valid_online_bench_snapshot(
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+        )
+        print("baseline: %s" % args.baseline)
+        committed = baseline["ratios"]["throughput_flatness"]
+        measured = fresh["ratios"]["throughput_flatness"]
+        floor = committed / REGRESSION_FACTOR
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            "  throughput_flatness committed %.3f  measured %.3f  floor %.3f  %s"
+            % (committed, measured, floor, verdict)
+        )
+        if measured < floor:
+            failures.append(
+                "throughput flatness regressed >%gx: %.3f measured vs "
+                "%.3f committed — feeding is no longer O(1) amortized"
+                % (REGRESSION_FACTOR, measured, committed)
+            )
+    else:
+        print(
+            "no committed baseline at %s — schema, bound, and floor checks only"
+            % args.baseline
+        )
+
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print()
+    print("fleet smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -184,6 +184,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     online_cmd.set_defaults(handler=_cmd_online)
 
+    fleet_cmd = sub.add_parser(
+        "fleet", help="fleet-scale online monitoring service"
+    )
+    fleet_sub = fleet_cmd.add_subparsers(dest="fleet_command")
+    fleet_cmd.set_defaults(handler=_cmd_fleet_help, fleet_parser=fleet_cmd)
+    replay_cmd = fleet_sub.add_parser(
+        "replay",
+        help="fan a directory of vehicle logs across N monitor streams",
+    )
+    replay_cmd.add_argument("log_dir", help="directory of trace files to replay")
+    replay_cmd.add_argument(
+        "--streams", type=int, default=8, help="stream count (logs are cycled)"
+    )
+    replay_cmd.add_argument("--pattern", default="*.csv", help="log filename glob")
+    replay_cmd.add_argument("--relaxed", action="store_true")
+    replay_cmd.add_argument(
+        "--rules",
+        default=None,
+        help="monitor against a custom .rules file instead of the paper rules",
+    )
+    replay_cmd.add_argument("--period", type=float, default=0.02)
+    replay_cmd.add_argument("--min-chunk-rows", type=int, default=50)
+    replay_cmd.add_argument(
+        "--retention", type=float, default=1.0, help="history kept per stream (s)"
+    )
+    replay_cmd.add_argument(
+        "--inbox", type=int, default=1024, help="bounded inbox size per stream"
+    )
+    replay_cmd.add_argument(
+        "--policy",
+        choices=("block", "drop"),
+        default="block",
+        help="what a full inbox does to new events",
+    )
+    replay_cmd.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        help="serve live repro.fleet/v1 rollups on this port (0 = ephemeral)",
+    )
+    replay_cmd.add_argument(
+        "--rollup-out",
+        default=None,
+        help="write the final validated repro.fleet/v1 rollup JSON here",
+    )
+    replay_cmd.add_argument(
+        "--fail-on-violation",
+        action="store_true",
+        help="exit 1 when any stream reports a violation",
+    )
+    replay_cmd.set_defaults(handler=_cmd_fleet_replay)
+
     lint_cmd = sub.add_parser(
         "lint",
         help="statically analyze rule specifications (speclint)",
@@ -455,6 +507,53 @@ def _cmd_online(args: argparse.Namespace) -> int:
     print()
     print(report.summary())
     return 1 if report.violated_rules() else 0
+
+
+def _cmd_fleet_help(args: argparse.Namespace) -> int:
+    args.fleet_parser.print_help()
+    return 2
+
+
+def _cmd_fleet_replay(args: argparse.Namespace) -> int:
+    from repro.errors import TraceError
+    from repro.fleet import (
+        load_log_directory,
+        replay_traces,
+        require_valid_fleet_snapshot,
+    )
+
+    specs = _load_specset(args.rules, relaxed=args.relaxed)
+    try:
+        traces = load_log_directory(args.log_dir, pattern=args.pattern)
+    except (OSError, TraceError) as exc:
+        _progress("cannot load logs: %s" % exc)
+        raise SystemExit(2)
+    _progress(
+        "replaying %d log(s) across %d stream(s) (policy=%s, inbox=%d)..."
+        % (len(traces), args.streams, args.policy, args.inbox)
+    )
+    report = replay_traces(
+        traces,
+        specs.rules,
+        machines=specs.machines,
+        streams=args.streams,
+        period=args.period,
+        min_chunk_rows=args.min_chunk_rows,
+        retention=args.retention,
+        inbox_events=args.inbox,
+        policy=args.policy,
+        status_port=args.status_port,
+    )
+    rollup = require_valid_fleet_snapshot(report.rollup)
+    if args.rollup_out:
+        with open(args.rollup_out, "w", encoding="utf-8") as handle:
+            json.dump(rollup, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _progress("fleet rollup written to %s" % args.rollup_out)
+    print(report.summary())
+    if args.fail_on_violation and report.violated_streams():
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

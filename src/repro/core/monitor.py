@@ -162,12 +162,18 @@ class RuleResult:
 
 @dataclass
 class MonitorReport:
-    """All rule results for one checked trace."""
+    """All rule results for one checked trace.
+
+    ``notes`` carries trace-level diagnostics that belong to no single
+    rule — e.g. the online monitor reporting that required signals never
+    arrived, so buffered data was never evaluated.
+    """
 
     trace_name: str
     period: float
     duration: float
     results: Dict[str, RuleResult] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
 
     def result(self, rule_id: str) -> RuleResult:
         """Result for one rule."""
@@ -204,6 +210,7 @@ class MonitorReport:
             "period": self.period,
             "duration": self.duration,
             "all_satisfied": self.all_satisfied,
+            "notes": list(self.notes),
             "rules": {
                 rule_id: {
                     "name": result.rule.name,
@@ -248,6 +255,8 @@ class MonitorReport:
                     result.rule.name,
                 )
             )
+        for note in self.notes:
+            lines.append("note: %s" % note)
         return "\n".join(lines)
 
 

@@ -26,12 +26,33 @@ rows have accumulated (or on :meth:`finish`), evaluates a chunk:
   **identical to the offline monitor's** for filter-free rules —
   a property the test suite checks exhaustively.
 
-Two documented deviations from offline semantics:
+Bounded memory
+--------------
+
+Buffered events live in a :class:`~repro.logs.trace.StreamTrace` — a
+deque-backed ring buffer with O(1) append and an advancing retention
+frontier — so feeding is O(1) amortized per event and per-signal buffer
+occupancy is **provably bounded**: after every chunk the monitor asserts
+that no signal buffers more than ``history_rows + horizon_rows +
+min_chunk_rows`` rows, however long the stream runs (see
+:attr:`OnlineMonitor.max_buffer_rows`).
+
+Three documented deviations from offline semantics:
 
 * intent filters are applied per emitted violation segment; a violation
-  that straddles a chunk boundary is filtered piecewise;
+  that straddles a chunk boundary is filtered piecewise (its witness
+  columns are re-joined when the segments coalesce, so the merged
+  record's evidence covers its whole span);
 * events older than the retention window are discarded, so the monitor's
-  memory is O(retention), not O(trace).
+  memory is O(retention), not O(trace);
+* a **late event** — one timestamped before the retention frontier, i.e.
+  for a row whose history has already been trimmed — is *dropped* and
+  counted in ``online.late_events`` (and
+  :attr:`OnlineMonitor.late_events`) rather than raising mid-stream: the
+  offline monitor would have seen it, but a bounded-memory monitor by
+  construction cannot re-evaluate rows it has discarded.  Events at or
+  after the frontier must still be per-signal time-ordered, exactly as
+  offline recording requires.
 """
 
 from __future__ import annotations
@@ -65,7 +86,7 @@ from repro.core.types import (
 )
 from repro.core.violations import Violation, extract_violations
 from repro.errors import TraceError
-from repro.logs.trace import Trace
+from repro.logs.trace import StreamTrace, Trace
 from repro.obs import get_registry
 
 
@@ -130,11 +151,19 @@ class OnlineMonitor:
         self._horizon_rows = int(math.ceil(reach / period)) + 1
         self._history_rows = int(math.ceil(history / period)) + 2
 
-        self._buffer = Trace("online")
+        self._buffer = StreamTrace("online")
         self._signals = set(self._offline.required_signals())
         self._start_time: Optional[float] = None
         self._latest: float = -math.inf
         self._next_emit_row = 0
+        #: Late events dropped behind the retention frontier (see the
+        #: module docstring's deviation list).
+        self.late_events = 0
+        #: Chunk emissions deferred because a required signal had no
+        #: buffered data yet (mirrors the ``online.emit_waiting`` counter).
+        self.emit_waits = 0
+        self._waiting_signals: Tuple[str, ...] = ()
+        self._peak_buffer_rows = 0
         self._machine_resume: Dict[str, Tuple[int, str]] = {
             machine.name: (0, machine.initial) for machine in self.machines
         }
@@ -152,13 +181,51 @@ class OnlineMonitor:
         """Worst-case seconds between a row and its emitted verdict."""
         return (self._horizon_rows + self.min_chunk_rows) * self.period
 
+    @property
+    def max_buffer_rows(self) -> int:
+        """Per-signal buffered-row bound the monitor never exceeds.
+
+        At every ``feed`` return, each signal's buffered updates span at
+        most ``history_rows + horizon_rows + min_chunk_rows`` monitor
+        rows: the history margin behind the emission frontier, the
+        undecidable horizon ahead of it, and the chunk batch between.
+        The bound is asserted after every chunk's trim.
+        """
+        return self._history_rows + self._horizon_rows + self.min_chunk_rows
+
+    @property
+    def peak_buffer_rows(self) -> int:
+        """Largest per-signal buffered update count observed so far.
+
+        Sampled at each chunk emission (before trimming — the fullest
+        point of the buffer cycle).  For a signal updating once per
+        monitor row this is exactly its peak buffered rows, and it never
+        exceeds :attr:`max_buffer_rows` plus the updates-per-row factor.
+        """
+        return self._peak_buffer_rows
+
+    def buffer_row_span(self) -> int:
+        """Monitor rows spanned by the fullest per-signal buffer now."""
+        if self._start_time is None:
+            return 0
+        span = 0
+        for signal in self._buffer.signals():
+            if not self._buffer.update_count(signal):
+                continue
+            oldest, newest = self._buffer.time_bounds(signal)
+            span = max(span, self._row_of(newest) - self._row_of(oldest) + 1)
+        return span
+
     def feed(self, timestamp: float, signal: str, value: float) -> List[Violation]:
         """Consume one bus event; returns violations finalized by it.
 
         Every event advances the monitor's clock (time passes on the bus
         whether or not the rules reference the signal — exactly as an
         offline check over the full trace sees it); only referenced
-        signals are buffered.
+        signals are buffered.  A referenced-signal event older than the
+        retention frontier is dropped and counted (``online.late_events``)
+        instead of being buffered — its row has already been emitted or
+        trimmed, so it can no longer influence any verdict.
         """
         if self._finished:
             raise TraceError("monitor already finished")
@@ -166,6 +233,10 @@ class OnlineMonitor:
             self._start_time = timestamp
         self._latest = max(self._latest, timestamp)
         if signal not in self._signals:
+            return []
+        if timestamp < self._buffer.frontier:
+            self.late_events += 1
+            get_registry().counter("online.late_events").inc()
             return []
         self._buffer.record(signal, timestamp, value)
         decidable = self._decidable_row()
@@ -197,6 +268,23 @@ class OnlineMonitor:
             if self._start_time is not None
             else 0.0,
         )
+        if self._waiting_signals:
+            report.notes.append(
+                "online: %d chunk emission(s) deferred; buffered data was "
+                "never evaluated because required signal(s) never arrived: %s"
+                % (self.emit_waits, ", ".join(self._waiting_signals))
+            )
+        elif self.emit_waits:
+            report.notes.append(
+                "online: %d chunk emission(s) deferred early in the stream "
+                "while required signals were still missing" % self.emit_waits
+            )
+        if self.late_events:
+            report.notes.append(
+                "online: %d late event(s) dropped behind the retention "
+                "frontier (offline monitoring of the full log would have "
+                "seen them)" % self.late_events
+            )
         for rule in self.rules:
             progress = self._progress[rule.rule_id]
             if progress.violations:
@@ -247,6 +335,15 @@ class OnlineMonitor:
     def _emit_instrumented(
         self, upto_row: int, registry
     ) -> List[Violation]:
+        occupancy = max(
+            (
+                self._buffer.update_count(signal)
+                for signal in self._buffer.signals()
+            ),
+            default=0,
+        )
+        if occupancy > self._peak_buffer_rows:
+            self._peak_buffer_rows = occupancy
         history_start = max(0, self._next_emit_row - self._history_rows)
         t0 = self._start_time
         view_start = t0 + history_start * self.period
@@ -260,8 +357,20 @@ class OnlineMonitor:
                 end=view_end,
             )
         except TraceError:
-            # A required signal has not appeared yet: wait for more data.
+            # A required signal has no buffered data yet: keep buffering
+            # and record that evaluation is stalled — finish() surfaces
+            # the missing names if the stall never resolves.
+            self.emit_waits += 1
+            self._waiting_signals = tuple(
+                name
+                for name in self._offline.required_signals()
+                if not (
+                    name in self._buffer and self._buffer.update_count(name)
+                )
+            )
+            registry.counter("online.emit_waiting").inc()
             return []
+        self._waiting_signals = ()
         ctx = EvalContext(view, memo=self.memo)
         chunk_initials: Dict[str, str] = {}
         for machine in self.machines:
@@ -306,10 +415,27 @@ class OnlineMonitor:
             )
 
         self._next_emit_row = upto_row + 1
-        # Drop events that can no longer influence any future chunk.
+        # Advance the retention frontier: events behind it can no longer
+        # influence any future chunk.  trim() pops each expired update
+        # exactly once, so maintenance is O(1) amortized per event —
+        # never a rebuild of the retained suffix.
         keep_from = t0 + next_history_start * self.period
-        self._buffer = self._buffer.sliced(keep_from, math.inf, name="online")
+        self._buffer.trim(keep_from)
+        span = self.buffer_row_span()
+        if span > self.max_buffer_rows:
+            raise AssertionError(
+                "bounded-memory invariant broken: buffer spans %d rows, "
+                "bound is %d (history %d + horizon %d + chunk %d)"
+                % (
+                    span,
+                    self.max_buffer_rows,
+                    self._history_rows,
+                    self._horizon_rows,
+                    self.min_chunk_rows,
+                )
+            )
         registry.gauge("online.buffer_events").set(self._buffer.update_count())
+        registry.gauge("online.buffer_peak_rows").set(self._peak_buffer_rows)
         return fresh
 
     def _emit_rule(
@@ -383,7 +509,10 @@ class OnlineMonitor:
 
         Returns the genuinely new violation records (a continuation of
         the previous chunk's final run extends it rather than appearing
-        as a fresh violation).
+        as a fresh violation).  When a run extends, the witness columns
+        of both segments are concatenated so the merged record's
+        evidence covers its whole ``[start_row, end_row]`` span — the
+        first-row ``witness`` scalars stay those of the run's true start.
         """
         fresh: List[Violation] = []
         for violation in incoming:
@@ -392,6 +521,13 @@ class OnlineMonitor:
                 and accumulated[-1].end_row + 1 == violation.start_row
             ):
                 last = accumulated[-1]
+                columns = {
+                    name: np.concatenate(
+                        [column, violation.witness_columns[name]]
+                    )
+                    for name, column in last.witness_columns.items()
+                    if name in violation.witness_columns
+                }
                 accumulated[-1] = Violation(
                     rule_id=last.rule_id,
                     start_row=last.start_row,
@@ -400,6 +536,7 @@ class OnlineMonitor:
                     end_time=violation.end_time,
                     period=last.period,
                     witness=last.witness,
+                    witness_columns=columns,
                 )
             else:
                 accumulated.append(violation)
@@ -416,4 +553,5 @@ class OnlineMonitor:
             end_time=violation.end_time,
             period=violation.period,
             witness=violation.witness,
+            witness_columns=violation.witness_columns,
         )

@@ -3,8 +3,11 @@
 A violation is a maximal run of consecutive FALSE rows for one rule.
 Each record carries its time span, duration, and a *witness*: the held
 values of the rule's signals at the first violating row, which is what an
-engineer triaging a test log looks at first.  Severity buckets follow the
-paper's triage vocabulary — it distinguished "extremely short transient"
+engineer triaging a test log looks at first.  The full per-signal value
+columns over the violation's span are kept alongside
+(``witness_columns``), so triage can plot how the signals evolved through
+the whole violating run, not just its first sample.  Severity buckets
+follow the paper's triage vocabulary — it distinguished "extremely short transient"
 violations (one cycle of bad ``RequestedDecel``) from sustained unsafe
 behaviour (accelerating into the target for many seconds).
 """
@@ -43,6 +46,9 @@ class Violation:
         start_time/end_time: times of those rows, seconds.
         period: the view's sample period (for duration computation).
         witness: held signal values at the first violating row.
+        witness_columns: per-signal held-value arrays over the whole
+            ``[start_row, end_row]`` span (each array has :attr:`rows`
+            entries); excluded from equality comparisons.
     """
 
     rule_id: str
@@ -52,6 +58,9 @@ class Violation:
     end_time: float
     period: float
     witness: Mapping[str, float] = field(default_factory=dict)
+    witness_columns: Mapping[str, np.ndarray] = field(
+        default_factory=dict, compare=False
+    )
 
     @property
     def rows(self) -> int:
@@ -103,9 +112,15 @@ def extract_violations(
     violations = []
     for start, end in zip(starts, ends):
         witness: Dict[str, float] = {}
+        columns: Dict[str, np.ndarray] = {}
         if witness_values:
             witness = {
                 name: float(values[start])
+                for name, values in witness_values.items()
+            }
+            # Copy so the record survives the view it was sliced from.
+            columns = {
+                name: np.array(values[start : end + 1], dtype=float)
                 for name, values in witness_values.items()
             }
         violations.append(
@@ -117,6 +132,7 @@ def extract_violations(
                 end_time=float(times[end]),
                 period=period,
                 witness=witness,
+                witness_columns=columns,
             )
         )
     return violations
@@ -128,7 +144,9 @@ def merge_close(
     """Merge violations separated by at most ``max_gap`` seconds.
 
     Useful when triaging: a control oscillation can chop one underlying
-    event into many short runs.
+    event into many short runs.  The merged record keeps the first run's
+    witness and witness columns — the gap rows were not violating, so a
+    concatenated column would misrepresent the span.
     """
     if not violations:
         return []
@@ -145,6 +163,7 @@ def merge_close(
                 end_time=violation.end_time,
                 period=last.period,
                 witness=last.witness,
+                witness_columns=last.witness_columns,
             )
         else:
             merged.append(violation)

@@ -1,0 +1,65 @@
+"""Fleet-wide metrics rollup.
+
+Each :class:`~repro.fleet.shard.StreamShard` snapshots its private
+registry; :func:`fleet_rollup` merges those snapshots (plus the
+service's own backpressure counters) with
+:meth:`~repro.obs.MetricsRegistry.merge_snapshot` — the associative,
+order-independent merge the parallel campaign already relies on — and
+wraps them in the ``repro.fleet/v1`` document described in
+:mod:`repro.fleet.schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.fleet.schema import FLEET_SCHEMA_VERSION
+from repro.fleet.shard import StreamShard
+from repro.obs import MetricsRegistry
+
+
+def _merged_counter(registry: MetricsRegistry, name: str) -> int:
+    counter = registry.counters.get(name)
+    return counter.value if counter is not None else 0
+
+
+def fleet_rollup(
+    shards: Iterable[StreamShard],
+    service_registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Build a ``repro.fleet/v1`` rollup over ``shards``.
+
+    ``service_registry`` carries service-level instruments (submission
+    and backpressure counters); its snapshot is folded into the
+    fleet-level ``metrics`` object alongside every shard's.
+    """
+    streams: Dict[str, object] = {}
+    merged = MetricsRegistry()
+    events = violations = late = peak = 0
+    for shard in shards:
+        entry = shard.snapshot()
+        streams[shard.stream_id] = entry
+        merged.merge_snapshot(entry["metrics"])
+        events += entry["events"]
+        violations += entry["violations"]
+        late += entry["late_events"]
+        peak = max(peak, entry["peak_buffer_rows"])
+    if service_registry is not None:
+        merged.merge_snapshot(service_registry.snapshot())
+    return {
+        "schema": FLEET_SCHEMA_VERSION,
+        "streams": streams,
+        "fleet": {
+            "streams": len(streams),
+            "events": events,
+            "chunks": _merged_counter(merged, "online.chunks"),
+            "violations": violations,
+            "late_events": late,
+            "peak_buffer_rows": peak,
+            "backpressure": {
+                "dropped": _merged_counter(merged, "fleet.backpressure_dropped"),
+                "blocked": _merged_counter(merged, "fleet.backpressure_blocked"),
+            },
+            "metrics": merged.snapshot(),
+        },
+    }

@@ -1,0 +1,170 @@
+"""The fleet rollup JSON format (``repro.fleet/v1``) — docs and validation.
+
+A rollup is one JSON object::
+
+    {
+      "schema": "repro.fleet/v1",
+      "streams": {
+        "<stream id>": {
+          "stream": "<stream id>",
+          "events": <int>,                # events fed to the shard
+          "chunks": <int>,                # chunk emissions so far
+          "rows_emitted": <int>,
+          "violations": <int>,
+          "late_events": <int>,           # dropped behind the frontier
+          "emit_waits": <int>,            # emissions deferred on missing signals
+          "peak_buffer_rows": <int>,      # fullest per-signal buffer seen
+          "max_buffer_rows": <int>,       # the bounded-memory invariant
+          "decision_latency": <number>,   # worst-case verdict delay, seconds
+          "finished": <bool>,
+          "letters": {"<rule id>": "S"|"V", ...} | null,   # null while live
+          "metrics": <repro.obs/v1 snapshot>
+        }, ...
+      },
+      "fleet": {
+        "streams": <int>,
+        "events": <int>,
+        "chunks": <int>,
+        "violations": <int>,
+        "late_events": <int>,
+        "peak_buffer_rows": <int>,        # max over streams
+        "backpressure": {"dropped": <int>, "blocked": <int>},
+        "metrics": <repro.obs/v1 snapshot> # all shards + service, merged
+      }
+    }
+
+Per-stream ``metrics`` are full ``repro.obs/v1`` snapshots (validated by
+:func:`repro.obs.validate_snapshot`); the fleet-level ``metrics`` object
+is their associative merge plus the service's own counters, so totals
+are independent of the order streams were rolled up in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs import validate_snapshot
+from repro.obs.schema import _is_count, _is_number
+
+#: Rollup format identifier; bump when the JSON layout changes.
+FLEET_SCHEMA_VERSION = "repro.fleet/v1"
+
+#: Counter fields every per-stream entry must carry.
+_STREAM_COUNTS = (
+    "events",
+    "chunks",
+    "rows_emitted",
+    "violations",
+    "late_events",
+    "emit_waits",
+    "peak_buffer_rows",
+    "max_buffer_rows",
+)
+
+#: Counter fields the fleet-level section must carry.
+_FLEET_COUNTS = (
+    "streams",
+    "events",
+    "chunks",
+    "violations",
+    "late_events",
+    "peak_buffer_rows",
+)
+
+
+def validate_fleet_snapshot(snapshot: object) -> List[str]:
+    """All the ways ``snapshot`` fails to be a valid fleet rollup.
+
+    Returns an empty list when the document conforms to the
+    ``repro.fleet/v1`` format described in the module docstring.
+    """
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return ["rollup must be a JSON object, got %s" % type(snapshot).__name__]
+    if snapshot.get("schema") != FLEET_SCHEMA_VERSION:
+        problems.append(
+            "schema must be %r, got %r"
+            % (FLEET_SCHEMA_VERSION, snapshot.get("schema"))
+        )
+    streams = snapshot.get("streams")
+    if not isinstance(streams, dict):
+        problems.append("missing or non-object section 'streams'")
+    fleet = snapshot.get("fleet")
+    if not isinstance(fleet, dict):
+        problems.append("missing or non-object section 'fleet'")
+    if problems:
+        return problems
+
+    for stream_id, entry in streams.items():
+        problems.extend(_validate_stream(stream_id, entry))
+
+    for key in _FLEET_COUNTS:
+        if not _is_count(fleet.get(key)):
+            problems.append(
+                "fleet %r must be a non-negative integer, got %r"
+                % (key, fleet.get(key))
+            )
+    if _is_count(fleet.get("streams")) and fleet["streams"] != len(streams):
+        problems.append(
+            "fleet 'streams' is %d but %d stream entries are present"
+            % (fleet["streams"], len(streams))
+        )
+    backpressure = fleet.get("backpressure")
+    if not isinstance(backpressure, dict):
+        problems.append("fleet needs a 'backpressure' object")
+    else:
+        for key in ("dropped", "blocked"):
+            if not _is_count(backpressure.get(key)):
+                problems.append(
+                    "backpressure %r must be a non-negative integer, got %r"
+                    % (key, backpressure.get(key))
+                )
+    problems.extend(
+        "fleet metrics: %s" % problem
+        for problem in validate_snapshot(fleet.get("metrics"))
+    )
+    return problems
+
+
+def _validate_stream(stream_id: str, entry: object) -> List[str]:
+    where = "stream %r" % stream_id
+    if not isinstance(entry, dict):
+        return ["%s must be an object" % where]
+    problems: List[str] = []
+    if entry.get("stream") != stream_id:
+        problems.append(
+            "%s 'stream' field is %r (must echo its key)"
+            % (where, entry.get("stream"))
+        )
+    for key in _STREAM_COUNTS:
+        if not _is_count(entry.get(key)):
+            problems.append(
+                "%s %r must be a non-negative integer, got %r"
+                % (where, key, entry.get(key))
+            )
+    if not _is_number(entry.get("decision_latency")) or entry["decision_latency"] <= 0:
+        problems.append("%s needs a positive numeric 'decision_latency'" % where)
+    if not isinstance(entry.get("finished"), bool):
+        problems.append("%s needs a boolean 'finished'" % where)
+    letters = entry.get("letters")
+    if letters is not None:
+        if not isinstance(letters, dict) or not all(
+            isinstance(rule_id, str) and letter in ("S", "V")
+            for rule_id, letter in letters.items()
+        ):
+            problems.append(
+                "%s 'letters' must be null or an object of 'S'/'V'" % where
+            )
+    problems.extend(
+        "%s metrics: %s" % (where, problem)
+        for problem in validate_snapshot(entry.get("metrics"))
+    )
+    return problems
+
+
+def require_valid_fleet_snapshot(snapshot: object) -> Dict[str, object]:
+    """Validate and return ``snapshot``; raise ``ValueError`` otherwise."""
+    problems = validate_fleet_snapshot(snapshot)
+    if problems:
+        raise ValueError("invalid fleet rollup: %s" % "; ".join(problems))
+    return snapshot  # type: ignore[return-value]

@@ -1,0 +1,106 @@
+"""One vehicle stream's monitor shard.
+
+A :class:`StreamShard` pairs a stateful
+:class:`~repro.core.online.OnlineMonitor` with a *private*
+:class:`~repro.obs.MetricsRegistry`: every hot-path instrument the online
+monitor records (``online.chunks``, ``online.late_events``,
+``online.buffer_peak_rows``, per-rule evaluation timings, ...) lands in
+the shard's own registry, and the fleet rollup merges shard snapshots
+with the same associative machinery the parallel campaign uses for
+worker-process snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import DEFAULT_PERIOD, MonitorReport, Rule
+from repro.core.online import OnlineMonitor
+from repro.core.statemachine import StateMachine
+from repro.core.violations import Violation
+from repro.obs import MetricsRegistry, use_registry
+
+#: One inbox event: (timestamp, signal name, value).
+StreamEvent = Tuple[float, str, float]
+
+
+class StreamShard:
+    """A single stream's online monitor plus its metrics registry."""
+
+    def __init__(
+        self,
+        stream_id: str,
+        rules: Sequence[Rule],
+        machines: Sequence[StateMachine] = (),
+        period: float = DEFAULT_PERIOD,
+        min_chunk_rows: int = 50,
+        retention: float = 1.0,
+        memo: bool = True,
+    ) -> None:
+        self.stream_id = stream_id
+        self.registry = MetricsRegistry()
+        self.monitor = OnlineMonitor(
+            rules,
+            machines=machines,
+            period=period,
+            min_chunk_rows=min_chunk_rows,
+            retention=retention,
+            memo=memo,
+        )
+        self.events = 0
+        self.live_violations: List[Violation] = []
+        self.report: Optional[MonitorReport] = None
+
+    def feed(self, timestamp: float, signal: str, value: float) -> List[Violation]:
+        """Feed one event under this shard's registry."""
+        return self.feed_batch([(timestamp, signal, value)])
+
+    def feed_batch(self, events: Sequence[StreamEvent]) -> List[Violation]:
+        """Feed a drained inbox batch under one registry install.
+
+        Installing the registry once per batch (not per event) keeps the
+        per-event overhead at a deque append plus the chunk-size check.
+        """
+        fresh: List[Violation] = []
+        with use_registry(self.registry):
+            for timestamp, signal, value in events:
+                fresh.extend(self.monitor.feed(timestamp, signal, value))
+        self.events += len(events)
+        self.live_violations.extend(fresh)
+        return fresh
+
+    def finish(self) -> MonitorReport:
+        """Flush the monitor tail and keep the final report."""
+        with use_registry(self.registry):
+            self.report = self.monitor.finish(trace_name=self.stream_id)
+        return self.report
+
+    # ------------------------------------------------------------------
+
+    def _counter(self, name: str) -> int:
+        counter = self.registry.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """This stream's entry in the ``repro.fleet/v1`` rollup."""
+        if self.report is not None:
+            violations = self.report.violation_count()
+            letters: Optional[Dict[str, str]] = self.report.letters()
+        else:
+            violations = len(self.live_violations)
+            letters = None
+        return {
+            "stream": self.stream_id,
+            "events": self.events,
+            "chunks": self._counter("online.chunks"),
+            "rows_emitted": self._counter("online.rows_emitted"),
+            "violations": violations,
+            "late_events": self.monitor.late_events,
+            "emit_waits": self.monitor.emit_waits,
+            "peak_buffer_rows": self.monitor.peak_buffer_rows,
+            "max_buffer_rows": self.monitor.max_buffer_rows,
+            "decision_latency": self.monitor.decision_latency,
+            "finished": self.report is not None,
+            "letters": letters,
+            "metrics": self.registry.snapshot(),
+        }

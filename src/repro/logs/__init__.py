@@ -8,7 +8,7 @@ from repro.logs.format import (
     write_trace,
 )
 from repro.logs.replay import collect, rebuild, replay, windows
-from repro.logs.trace import Trace, TraceEvent, TraceView
+from repro.logs.trace import StreamTrace, Trace, TraceEvent, TraceView
 from repro.logs.vehicle_logs import (
     RANGE_NOISE_STD,
     REL_VEL_NOISE_STD,
@@ -23,6 +23,7 @@ __all__ = [
     "HEADER_PREFIX",
     "RANGE_NOISE_STD",
     "REL_VEL_NOISE_STD",
+    "StreamTrace",
     "Trace",
     "TraceEvent",
     "TraceView",

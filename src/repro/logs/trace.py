@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import bisect
 import math
+from collections import deque
 from functools import cached_property
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -170,6 +171,151 @@ class Trace:
         end: Optional[float] = None,
     ) -> "TraceView":
         """Resample the trace onto a uniform grid at ``period`` seconds."""
+        return TraceView(self, period, signals=signals, start=start, end=end)
+
+
+class StreamTrace:
+    """Bounded-memory update store for streaming monitors.
+
+    Same recording/view protocol as :class:`Trace`, but designed for an
+    unbounded stream with a moving *retention frontier*:
+
+    * per-signal storage is a :class:`collections.deque`, so
+      :meth:`record` appends in O(1);
+    * :meth:`trim` advances the frontier and pops expired updates from
+      the left — every update is popped at most once over the stream's
+      lifetime, so buffer maintenance costs O(1) amortized per recorded
+      event (re-recording the kept suffix into a fresh :class:`Trace`,
+      the approach this replaces, was O(retained) *per trim*);
+    * :meth:`to_view` materializes numpy arrays only for what is still
+      buffered, never for the stream's full history.
+
+    The store never deletes a signal's *name* — a signal whose updates
+    have all expired still answers ``in`` but holds zero updates, which
+    lets callers distinguish "never seen" from "seen but expired".
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: Dict[str, Deque[float]] = {}
+        self._values: Dict[str, Deque[float]] = {}
+        self._frontier = -math.inf
+
+    # ------------------------------------------------------------------
+    # Recording / trimming
+    # ------------------------------------------------------------------
+
+    @property
+    def frontier(self) -> float:
+        """Timestamp of the current retention frontier (-inf initially).
+
+        Updates strictly before the frontier have been discarded; callers
+        must not record below it (drop such late events explicitly).
+        """
+        return self._frontier
+
+    def record(self, signal: str, timestamp: float, value: float) -> None:
+        """Append one observed update for ``signal`` (O(1)).
+
+        Timestamps must be non-decreasing per signal, as on a real bus.
+        """
+        times = self._times.setdefault(signal, deque())
+        if times and timestamp < times[-1] - 1e-12:
+            raise TraceError(
+                "%s: update at t=%.6f precedes last update at t=%.6f"
+                % (signal, timestamp, times[-1])
+            )
+        times.append(float(timestamp))
+        self._values.setdefault(signal, deque()).append(float(value))
+
+    def trim(self, before: float) -> int:
+        """Drop every update with ``t < before``; returns the drop count.
+
+        Advances the retention frontier to ``before`` (frontiers never
+        move backwards).  Updates exactly at ``before`` are kept, matching
+        ``Trace.sliced(before, inf)`` semantics.
+        """
+        dropped = 0
+        for signal, times in self._times.items():
+            values = self._values[signal]
+            while times and times[0] < before:
+                times.popleft()
+                values.popleft()
+                dropped += 1
+        if before > self._frontier:
+            self._frontier = before
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Inspection (the TraceView protocol)
+    # ------------------------------------------------------------------
+
+    def signals(self) -> Tuple[str, ...]:
+        """All signal names ever recorded, sorted."""
+        return tuple(sorted(self._times))
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self._times
+
+    def update_count(self, signal: Optional[str] = None) -> int:
+        """Buffered update count for one signal, or for the whole store."""
+        if signal is not None:
+            return len(self._times.get(signal, ()))
+        return sum(len(times) for times in self._times.values())
+
+    def updates(self, signal: str) -> List[Tuple[float, float]]:
+        """The buffered ``(timestamp, value)`` updates of one signal."""
+        if signal not in self._times:
+            raise TraceError("no updates recorded for signal %s" % signal)
+        return list(zip(self._times[signal], self._values[signal]))
+
+    def time_bounds(self, signal: str) -> Tuple[float, float]:
+        """``(oldest, newest)`` buffered timestamps of one signal.
+
+        O(1) — this is what lets a monitor assert its buffer-row bound
+        on every chunk without walking the buffer.
+        """
+        times = self._times.get(signal)
+        if not times:
+            raise TraceError("no updates buffered for signal %s" % signal)
+        return times[0], times[-1]
+
+    def is_empty(self) -> bool:
+        """Whether the store currently buffers no updates at all."""
+        return all(not times for times in self._times.values()) or not self._times
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the earliest *buffered* update."""
+        starts = [times[0] for times in self._times.values() if times]
+        if not starts:
+            raise TraceError("trace is empty")
+        return min(starts)
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the latest buffered update."""
+        ends = [times[-1] for times in self._times.values() if times]
+        if not ends:
+            raise TraceError("trace is empty")
+        return max(ends)
+
+    def to_view(
+        self,
+        period: float,
+        signals: Optional[Sequence[str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> "TraceView":
+        """Resample the buffered window onto a uniform grid.
+
+        A signal whose updates have all expired (buffered count zero)
+        raises :class:`TraceError` exactly like a missing signal would —
+        the caller cannot evaluate over data it no longer holds.
+        """
+        for signal in signals or ():
+            if not self._times.get(signal):
+                raise TraceError("trace has no signal %s" % signal)
         return TraceView(self, period, signals=signals, start=start, end=end)
 
 

@@ -9,6 +9,13 @@ and :mod:`repro.obs.schema` for the JSON snapshot format.
 """
 
 from repro.obs.bench import BENCH_SCHEMA_VERSION, bench_monitor, format_bench
+from repro.obs.bench_online import (
+    ONLINE_BENCH_SCHEMA_VERSION,
+    bench_online,
+    format_online_bench,
+    require_valid_online_bench_snapshot,
+    validate_online_bench_snapshot,
+)
 from repro.obs.metrics import (
     SCHEMA_VERSION,
     Counter,
@@ -31,6 +38,7 @@ from repro.obs.schema import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "ONLINE_BENCH_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "Counter",
     "Gauge",
@@ -43,9 +51,13 @@ __all__ = [
     "set_registry",
     "use_registry",
     "bench_monitor",
+    "bench_online",
     "format_bench",
+    "format_online_bench",
     "require_valid_bench_snapshot",
+    "require_valid_online_bench_snapshot",
     "require_valid_snapshot",
     "validate_bench_snapshot",
+    "validate_online_bench_snapshot",
     "validate_snapshot",
 ]

@@ -49,6 +49,21 @@ def assert_equivalent(offline, online):
         ], rule_id
         assert off.rows_unknown == on.rows_unknown, rule_id
         assert off.rows_total == on.rows_total, rule_id
+        for off_v, on_v in zip(off.violations, on.violations):
+            assert_witness_equal(off_v, on_v, rule_id)
+
+
+def assert_witness_equal(off_v, on_v, rule_id=""):
+    """Witness payloads must match offline exactly — scalar first-row
+    values and the per-signal held-value arrays over the whole span."""
+    assert set(off_v.witness) == set(on_v.witness), rule_id
+    for name, value in off_v.witness.items():
+        assert value == pytest.approx(on_v.witness[name], nan_ok=True), rule_id
+    assert set(off_v.witness_columns) == set(on_v.witness_columns), rule_id
+    for name, column in off_v.witness_columns.items():
+        np.testing.assert_array_equal(
+            column, on_v.witness_columns[name], err_msg="%s/%s" % (rule_id, name)
+        )
 
 
 class TestFutureReach:
@@ -230,6 +245,30 @@ class TestDifferentialFuzz:
             *compare(rules, trace, min_chunk_rows=chunk, retention=retention)
         )
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_chunk_boundaries_inside_violation_runs(self, seed):
+        """Traces built from long good/bad segments so violation runs are
+        near-certain to straddle chunk boundaries; spans AND witness
+        contents (checked by assert_equivalent) must survive the splits."""
+        rng = np.random.default_rng(3100 + seed)
+        xs = []
+        while len(xs) < 160:
+            good = int(rng.integers(3, 12))
+            bad = int(rng.integers(8, 30))  # longer than most chunks below
+            xs.extend([float(rng.integers(1, 5))] * good)
+            xs.extend([-float(rng.integers(1, 5))] * bad)
+        trace = uniform_trace({"x": xs, "g": [1.0] * len(xs)})
+        rules = [
+            Rule.from_text("p", "f", "x > 0"),
+            Rule.from_text("gated", "f", "x > 0", gate="g"),
+            Rule.from_text("alw", "f", "always[0, 60ms] x > 0"),
+        ]
+        chunk = int(rng.integers(2, 14))
+        retention = float(rng.uniform(0.1, 1.5))
+        assert_equivalent(
+            *compare(rules, trace, min_chunk_rows=chunk, retention=retention)
+        )
+
     def test_tiny_retention_is_raised_to_a_safe_floor(self):
         """A retention window smaller than the rules' past reach must not
         break equivalence — the monitor widens it automatically."""
@@ -368,3 +407,162 @@ class TestMachineEquivalenceProperty:
         assert_equivalent(
             *compare([rule], trace, machines=[machine], min_chunk_rows=chunk)
         )
+
+
+class TestWitnessCoalescing:
+    """Regression: a violation run straddling a chunk boundary used to
+    keep only the first fragment's witness columns when the fragments
+    were coalesced — triage plots silently lost the tail of the run."""
+
+    def _straddling_trace(self, run_start=8, run_len=14):
+        n = 60
+        xs = [1.0] * n
+        for i in range(run_start, run_start + run_len):
+            xs[i] = -float(i)  # distinct values so truncation is visible
+        ys = [float(i % 5) for i in range(n)]
+        return uniform_trace({"x": xs, "y": ys})
+
+    @pytest.mark.parametrize("chunk", [3, 5, 7, 10, 13])
+    def test_witness_columns_cover_the_full_run(self, chunk):
+        rule = Rule.from_text("r", "n", "x > 0")
+        trace = self._straddling_trace()
+        offline, online = compare([rule], trace, min_chunk_rows=chunk)
+        on_violations = online.results["r"].violations
+        assert len(on_violations) == 1
+        violation = on_violations[0]
+        span = violation.end_row - violation.start_row + 1
+        assert span == 14
+        for name, column in violation.witness_columns.items():
+            assert len(column) == span, name
+        assert_equivalent(offline, online)
+
+    def test_concatenated_values_match_offline(self):
+        """Not just the right length — the joined arrays must be the
+        byte-identical held samples the offline monitor extracts."""
+        rule = Rule.from_text("r", "n", "x > 0")
+        trace = self._straddling_trace(run_start=4, run_len=21)
+        offline, online = compare([rule], trace, min_chunk_rows=6)
+        off_v = offline.results["r"].violations[0]
+        on_v = online.results["r"].violations[0]
+        assert_witness_equal(off_v, on_v)
+        np.testing.assert_array_equal(
+            on_v.witness_columns["x"],
+            np.array([-float(i) for i in range(4, 25)]),
+        )
+
+
+class TestLateEvents:
+    """Regression: an event older than the retention frontier used to
+    crash the feed with a trace-monotonicity error; the service drops
+    and counts it instead."""
+
+    def _aged_monitor(self):
+        online = OnlineMonitor(
+            [Rule.from_text("r", "n", "x > 0")], min_chunk_rows=5, retention=0.1
+        )
+        for i in range(200):
+            online.feed(i * PERIOD, "x", 1.0)
+        assert online._buffer.frontier > 0, "retention frontier must have moved"
+        return online
+
+    def test_late_event_dropped_and_counted(self):
+        online = self._aged_monitor()
+        frontier = online._buffer.frontier
+        assert online.feed(frontier - 0.05, "x", -1.0) == []
+        assert online.late_events == 1
+        # The monitor keeps running: current-time events still work.
+        online.feed(200 * PERIOD, "x", 1.0)
+        report = online.finish()
+        assert any("1 late event" in note for note in report.notes)
+
+    def test_late_event_does_not_alter_verdict(self):
+        online = self._aged_monitor()
+        online.feed(0.0, "x", -1.0)  # way behind the frontier: ignored
+        report = online.finish()
+        assert report.results["r"].verdict is Verdict.TRUE
+
+    def test_in_window_event_is_not_late(self):
+        online = self._aged_monitor()
+        before = online.late_events
+        online.feed(199 * PERIOD, "x", 1.0)  # same stamp as the last one
+        assert online.late_events == before
+
+
+class TestEmitWaiting:
+    """Regression: emissions deferred on missing signals were silently
+    swallowed; now they are counted and the missing names surface in the
+    final report."""
+
+    def test_missing_signal_counted_and_named(self):
+        rule = Rule.from_text("r", "n", "x > 0 and y > 0")
+        online = OnlineMonitor([rule], min_chunk_rows=5)
+        for i in range(60):
+            online.feed(i * PERIOD, "x", 1.0)  # y never arrives
+        assert online.emit_waits > 0
+        report = online.finish()
+        assert report.results["r"].verdict is Verdict.UNKNOWN
+        assert any(
+            "never arrived" in note and "y" in note for note in report.notes
+        )
+
+    def test_wait_resolves_when_signal_arrives(self):
+        rule = Rule.from_text("r", "n", "x > 0 and y > 0")
+        online = OnlineMonitor([rule], min_chunk_rows=5)
+        for i in range(20):
+            online.feed(i * PERIOD, "x", 1.0)
+        waits = online.emit_waits
+        assert waits > 0
+        for i in range(20, 60):
+            online.feed(i * PERIOD, "x", 1.0)
+            online.feed(i * PERIOD, "y", 1.0)
+        report = online.finish()
+        assert report.results["r"].verdict is Verdict.TRUE
+        # Once the signal shows up, nothing is reported as never-arrived.
+        assert not any("never arrived" in note for note in report.notes)
+
+    def test_no_waits_on_complete_stream(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        online = OnlineMonitor([rule], min_chunk_rows=5)
+        for i in range(60):
+            online.feed(i * PERIOD, "x", 1.0)
+        online.finish()
+        assert online.emit_waits == 0
+
+
+class TestBoundedMemoryAcceptance:
+    """The PR's acceptance property: stream ≥100× the retention window
+    through the paper rules, check the per-signal buffer row span after
+    *every* feed, and still produce letters byte-identical to offline."""
+
+    def test_long_stream_never_exceeds_bound(self, nominal_trace):
+        from repro.core.monitor import Monitor
+        from repro.rules import paper_rules
+
+        retention = 0.25  # 40 s trace => 160x retention
+        rules = paper_rules()
+        online = OnlineMonitor(
+            rules, period=PERIOD, min_chunk_rows=50, retention=retention
+        )
+        assert nominal_trace.duration >= 100 * retention
+        bound = online.max_buffer_rows
+        for timestamp, signal, value in nominal_trace.events():
+            online.feed(timestamp, signal, value)
+            assert online.buffer_row_span() <= bound
+        report = online.finish()
+        offline = Monitor(rules, period=PERIOD).check(nominal_trace)
+        assert report.letters() == offline.letters()
+        assert online.peak_buffer_rows > 0
+        assert online.late_events == 0
+
+    def test_constant_stream_buffer_is_flat(self):
+        """Double the stream, same peak buffer — the O(1)-amortized
+        ring buffer, not the old re-record-everything trim."""
+        rule = Rule.from_text("r", "n", "always[0, 100ms] x > 0")
+
+        def peak(n_events):
+            online = OnlineMonitor([rule], min_chunk_rows=10, retention=0.5)
+            for i in range(n_events):
+                online.feed(i * PERIOD, "x", 1.0)
+            return online.peak_buffer_rows
+
+        assert peak(8000) == peak(4000)

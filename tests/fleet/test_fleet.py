@@ -1,0 +1,265 @@
+"""The fleet service: shards, backpressure, rollups, status, replay."""
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from helpers import uniform_trace
+from repro.core.monitor import Rule
+from repro.errors import TraceError
+from repro.fleet import (
+    FLEET_SCHEMA_VERSION,
+    FleetService,
+    StreamShard,
+    assign_streams,
+    fleet_rollup,
+    interleave,
+    replay_traces,
+    require_valid_fleet_snapshot,
+    validate_fleet_snapshot,
+)
+from repro.fleet.status import StatusServer
+
+PERIOD = 0.02
+
+
+def simple_rules():
+    return [
+        Rule.from_text("pos", "f", "x > 0"),
+        Rule.from_text("alw", "f", "always[0, 60ms] x > -5"),
+    ]
+
+
+def sawtooth_trace(n=400, name="t"):
+    return uniform_trace(
+        {"x": [float(1 if i % 50 < 40 else -1) for i in range(n)]}, name=name
+    )
+
+
+class TestStreamShard:
+    def test_feed_and_finish(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        for i in range(200):
+            shard.feed(i * PERIOD, "x", 1.0)
+        report = shard.finish()
+        assert report.letters() == {"pos": "S", "alw": "S"}
+        entry = shard.snapshot()
+        assert entry["events"] == 200
+        assert entry["chunks"] > 0
+        assert entry["finished"] is True
+        assert entry["letters"] == {"pos": "S", "alw": "S"}
+
+    def test_metrics_stay_private_to_the_shard(self):
+        """Two shards fed different amounts must not share counters."""
+        a = StreamShard("a", simple_rules(), min_chunk_rows=10)
+        b = StreamShard("b", simple_rules(), min_chunk_rows=10)
+        for i in range(100):
+            a.feed(i * PERIOD, "x", 1.0)
+        for i in range(300):
+            b.feed(i * PERIOD, "x", 1.0)
+        assert a.snapshot()["chunks"] < b.snapshot()["chunks"]
+
+    def test_live_snapshot_has_null_letters(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        shard.feed(0.0, "x", 1.0)
+        entry = shard.snapshot()
+        assert entry["finished"] is False
+        assert entry["letters"] is None
+
+
+class TestFleetService:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_streams_isolated_and_reported(self):
+        async def scenario():
+            service = FleetService(simple_rules(), min_chunk_rows=10)
+            for i in range(300):
+                t = i * PERIOD
+                await service.submit("good", t, "x", 1.0)
+                await service.submit("bad", t, "x", -1.0 if 50 <= i < 80 else 1.0)
+            return await service.close()
+
+        report = self._run(scenario())
+        assert report.reports["good"].letters()["pos"] == "S"
+        assert report.reports["bad"].letters()["pos"] == "V"
+        assert report.violated_streams() == ["bad"]
+        rollup = require_valid_fleet_snapshot(report.rollup)
+        assert rollup["fleet"]["streams"] == 2
+        assert rollup["fleet"]["events"] == 600
+
+    def test_drop_policy_counts_dropped_events(self):
+        async def scenario():
+            service = FleetService(
+                simple_rules(), inbox_events=4, policy="drop", batch_events=4
+            )
+            # Submit far more than the inbox holds without ever yielding
+            # to the worker: overflow must be dropped, not deadlock.
+            for i in range(100):
+                await service.submit("s", i * PERIOD, "x", 1.0)
+            report = await service.close()
+            return service, report
+
+        service, report = self._run(scenario())
+        dropped = service.registry.counters["fleet.backpressure_dropped"].value
+        assert dropped > 0
+        events = report.rollup["streams"]["s"]["events"]
+        assert events + dropped == 100
+        assert report.rollup["fleet"]["backpressure"]["dropped"] == dropped
+
+    def test_block_policy_delivers_everything(self):
+        async def scenario():
+            service = FleetService(
+                simple_rules(), inbox_events=4, policy="block", batch_events=4
+            )
+            for i in range(100):
+                await service.submit("s", i * PERIOD, "x", 1.0)
+            return service, await service.close()
+
+        service, report = self._run(scenario())
+        blocked = service.registry.counters["fleet.backpressure_blocked"].value
+        assert blocked > 0, "a 4-slot inbox must have filled at least once"
+        assert report.rollup["streams"]["s"]["events"] == 100
+        assert report.rollup["fleet"]["backpressure"]["blocked"] == blocked
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            FleetService(simple_rules(), policy="best-effort")
+
+    def test_submit_after_close_rejected(self):
+        async def scenario():
+            service = FleetService(simple_rules())
+            await service.submit("s", 0.0, "x", 1.0)
+            await service.close()
+            with pytest.raises(RuntimeError):
+                await service.submit("s", 1.0, "x", 1.0)
+
+        self._run(scenario())
+
+
+class TestRollupSchema:
+    def _rollup(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        for i in range(100):
+            shard.feed(i * PERIOD, "x", 1.0)
+        shard.finish()
+        return fleet_rollup([shard])
+
+    def test_valid_rollup_passes(self):
+        rollup = self._rollup()
+        assert rollup["schema"] == FLEET_SCHEMA_VERSION
+        assert validate_fleet_snapshot(rollup) == []
+
+    def test_rollup_round_trips_through_json(self):
+        rollup = json.loads(json.dumps(self._rollup()))
+        assert validate_fleet_snapshot(rollup) == []
+
+    def test_mutations_are_caught(self):
+        rollup = self._rollup()
+        rollup["streams"]["v1"]["letters"] = {"pos": "maybe"}
+        assert validate_fleet_snapshot(rollup)
+        rollup = self._rollup()
+        rollup["fleet"]["streams"] = 7
+        assert validate_fleet_snapshot(rollup)
+        rollup = self._rollup()
+        del rollup["fleet"]["backpressure"]
+        with pytest.raises(ValueError):
+            require_valid_fleet_snapshot(rollup)
+
+    def test_merged_totals_match_stream_sums(self):
+        a = StreamShard("a", simple_rules(), min_chunk_rows=10)
+        b = StreamShard("b", simple_rules(), min_chunk_rows=10)
+        for i in range(80):
+            a.feed(i * PERIOD, "x", 1.0)
+        for i in range(120):
+            b.feed(i * PERIOD, "x", 1.0)
+        rollup = fleet_rollup([a, b])
+        streams = rollup["streams"]
+        assert rollup["fleet"]["events"] == 200
+        assert rollup["fleet"]["chunks"] == (
+            streams["a"]["chunks"] + streams["b"]["chunks"]
+        )
+
+
+class TestStatusServer:
+    def test_serves_live_rollup_and_health(self):
+        async def scenario():
+            service = FleetService(simple_rules(), min_chunk_rows=10)
+            for i in range(100):
+                await service.submit("s", i * PERIOD, "x", 1.0)
+            server = StatusServer(service, port=0).start()
+            try:
+                base = "http://127.0.0.1:%d" % server.port
+                # The handler thread hops back onto this loop for the
+                # rollup, so the fetch itself must run off-loop.
+                status = await asyncio.get_event_loop().run_in_executor(
+                    None, _fetch, base + "/status"
+                )
+                health = await asyncio.get_event_loop().run_in_executor(
+                    None, _fetch, base + "/healthz"
+                )
+                missing = await asyncio.get_event_loop().run_in_executor(
+                    None, _fetch_code, base + "/nope"
+                )
+            finally:
+                server.stop()
+            await service.close()
+            return status, health, missing
+
+        status, health, missing = asyncio.run(scenario())
+        assert validate_fleet_snapshot(status) == []
+        assert status["streams"]["s"]["events"] == 100
+        assert health == {"ok": True}
+        assert missing == 404
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _fetch_code(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status
+    except urllib.error.HTTPError as exc:
+        return exc.code
+
+
+class TestReplay:
+    def test_assign_cycles_traces_over_streams(self):
+        traces = [sawtooth_trace(name="a"), sawtooth_trace(name="b")]
+        pairs = assign_streams(traces, 5)
+        assert [stream_id for stream_id, _ in pairs] == [
+            "s00:a", "s01:b", "s02:a", "s03:b", "s04:a",
+        ]
+
+    def test_assign_rejects_empty_input(self):
+        with pytest.raises(TraceError):
+            assign_streams([], 4)
+        with pytest.raises(TraceError):
+            assign_streams([sawtooth_trace()], 0)
+
+    def test_interleave_is_time_ordered(self):
+        pairs = assign_streams([sawtooth_trace(name="a")], 3)
+        stamps = [event[0] for event in interleave(pairs)]
+        assert stamps == sorted(stamps)
+
+    def test_replay_across_eight_streams(self):
+        traces = [sawtooth_trace(name="t%d" % i, n=200 + 40 * i) for i in range(3)]
+        report = replay_traces(traces, simple_rules(), streams=8, min_chunk_rows=10)
+        rollup = require_valid_fleet_snapshot(report.rollup)
+        assert rollup["fleet"]["streams"] == 8
+        for entry in rollup["streams"].values():
+            assert entry["chunks"] > 0, entry["stream"]
+            assert entry["finished"] is True
+        # Cycled streams replaying the same log must agree exactly.
+        letters = {
+            entry["stream"].split(":", 1)[1]: entry["letters"]
+            for entry in rollup["streams"].values()
+        }
+        for entry in rollup["streams"].values():
+            name = entry["stream"].split(":", 1)[1]
+            assert entry["letters"] == letters[name]

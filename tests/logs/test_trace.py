@@ -236,3 +236,94 @@ class TestViewProperties:
         delta = view.delta_fresh("a")
         expected = np.diff(np.array(values))
         assert np.allclose(delta[1:], expected)
+
+
+class TestStreamTrace:
+    """The deque-backed store behind the online monitor's rolling buffer."""
+
+    def _stream(self, n=10, period=0.02):
+        from repro.logs.trace import StreamTrace
+
+        stream = StreamTrace("s")
+        for i in range(n):
+            stream.record("a", i * period, float(i))
+        return stream
+
+    def test_record_and_inspect(self):
+        stream = self._stream(5)
+        assert stream.signals() == ("a",)
+        assert "a" in stream
+        assert stream.update_count("a") == 5
+        assert stream.update_count() == 5
+        assert stream.updates("a")[0] == (0.0, 0.0)
+        assert stream.time_bounds("a") == (0.0, pytest.approx(0.08))
+
+    def test_non_monotonic_timestamps_rejected(self):
+        from repro.logs.trace import StreamTrace
+
+        stream = StreamTrace()
+        stream.record("a", 1.0, 1.0)
+        with pytest.raises(TraceError):
+            stream.record("a", 0.5, 2.0)
+
+    def test_trim_pops_strictly_older_updates(self):
+        stream = self._stream(10)
+        dropped = stream.trim(0.08)
+        assert dropped == 4  # t in {0, .02, .04, .06}; t == 0.08 is kept
+        assert stream.update_count("a") == 6
+        assert stream.updates("a")[0][0] == pytest.approx(0.08)
+
+    def test_trim_matches_trace_sliced_semantics(self):
+        """StreamTrace.trim(t) must keep exactly what Trace.sliced(t, inf)
+        keeps — that equality is what makes the ring-buffer refactor a
+        pure representation change."""
+        trace = Trace()
+        stream = self._stream(20)
+        for i in range(20):
+            trace.record("a", i * 0.02, float(i))
+        cut = 0.137
+        stream.trim(cut)
+        assert stream.updates("a") == trace.sliced(cut, math.inf).updates("a")
+
+    def test_frontier_advances_monotonically(self):
+        stream = self._stream(10)
+        assert stream.frontier == -math.inf
+        stream.trim(0.1)
+        assert stream.frontier == 0.1
+        stream.trim(0.05)  # cannot move backwards
+        assert stream.frontier == 0.1
+
+    def test_to_view_matches_trace_view(self):
+        from repro.logs.trace import StreamTrace
+
+        columns = {"a": [1.0, 2.0, 3.0, 2.0, 5.0], "b": [0.0, 0.0, 1.0, 1.0, 0.0]}
+        trace = uniform_trace(columns)
+        stream = StreamTrace()
+        for timestamp, signal, value in trace.events():
+            stream.record(signal, timestamp, value)
+        tview = trace.to_view(0.02)
+        sview = stream.to_view(0.02)
+        assert sview.n_rows == tview.n_rows
+        for signal in columns:
+            assert np.array_equal(sview.values(signal), tview.values(signal))
+            assert np.array_equal(sview.fresh(signal), tview.fresh(signal))
+
+    def test_to_view_rejects_fully_expired_signal(self):
+        """A signal whose every update was trimmed must fail like a
+        missing signal — a silent all-held view would be wrong data."""
+        stream = self._stream(4)
+        stream.record("b", 0.06, 1.0)
+        stream.trim(1.0)  # expires everything
+        assert "a" in stream  # the signal name is still known...
+        with pytest.raises(TraceError):
+            stream.to_view(0.02, signals=("a",))  # ...but views must refuse
+
+    def test_empty_and_time_properties(self):
+        from repro.logs.trace import StreamTrace
+
+        stream = StreamTrace()
+        assert stream.is_empty()
+        stream.record("a", 1.0, 0.5)
+        assert not stream.is_empty()
+        assert stream.start_time == 1.0
+        assert stream.end_time == 1.0

@@ -392,3 +392,47 @@ class TestTable1Prune:
         )
         capsys.readouterr()
         assert pruned.read_bytes() == plain.read_bytes()
+
+
+class TestFleetCommand:
+    def _write_logs(self, tmp_path, capsys):
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        for scenario in ("steady_follow", "cut_in"):
+            main(
+                [
+                    "simulate", scenario, "--duration", "10",
+                    "--out", str(log_dir / ("%s.csv" % scenario)),
+                ]
+            )
+        capsys.readouterr()
+        return log_dir
+
+    def test_replay_writes_validated_rollup(self, tmp_path, capsys):
+        from repro.fleet import validate_fleet_snapshot
+
+        log_dir = self._write_logs(tmp_path, capsys)
+        rollup_file = tmp_path / "rollup.json"
+        code = main(
+            [
+                "fleet", "replay", str(log_dir),
+                "--streams", "4",
+                "--rollup-out", str(rollup_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet: 4 stream(s)" in out
+        rollup = json.loads(rollup_file.read_text())
+        assert validate_fleet_snapshot(rollup) == []
+        assert rollup["fleet"]["streams"] == 4
+        assert all(e["chunks"] > 0 for e in rollup["streams"].values())
+
+    def test_empty_directory_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "replay", str(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_bare_fleet_prints_help(self, capsys):
+        assert main(["fleet"]) == 2
+        assert "replay" in capsys.readouterr().out
