@@ -1,0 +1,148 @@
+"""CI robustness-smoke gate for the quantitative evaluator.
+
+Reruns the robustness window-width sweep at reduced scale, validates
+both the fresh measurement and the committed baseline
+(``results/BENCH_robustness.json``) against the
+``repro.bench.robustness/v1`` schema, and fails on a >2x regression.
+
+Regression is judged on **same-machine overhead ratios** (robustness
+pass vs boolean pass on identical input), not absolute rows/s: absolute
+throughput varies wildly between hosts, but "margins cost a constant
+factor and that factor does not grow with window width" is
+host-independent.  Two additional absolute guards catch catastrophic
+breakage:
+
+* ``overhead_flatness`` must stay below :data:`MAX_FLATNESS` even with
+  no baseline — a naive O(n*w) margin aggregate at the 25→1000-row
+  sweep would post ~40x here, so 5x is a generous ceiling for noise.
+* the robustness pass at the widest window must clear a very low
+  rows/s floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/robustness_smoke.py [--rows N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import (
+    bench_robustness,
+    format_robustness_bench,
+    require_valid_robustness_bench_snapshot,
+)
+
+BASELINE = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_robustness.json"
+)
+
+#: Catastrophic-breakage floor for the robustness pass at the widest
+#: window (any real host clears this by orders of magnitude).
+MIN_ROBUST_ROWS_PER_SECOND = 20_000.0
+
+#: Baseline-free ceiling on overhead growth across the width sweep.
+MAX_FLATNESS = 5.0
+
+#: A regression is flagged when a fresh same-machine overhead ratio
+#: exceeds the committed baseline's times this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=20000,
+        help="trace rows for the reduced-scale sweep (default 20000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per width (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="committed baseline snapshot (default results/BENCH_robustness.json)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the fresh snapshot here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = require_valid_robustness_bench_snapshot(
+        bench_robustness(rows=args.rows, repeats=args.repeats)
+    )
+    print(format_robustness_bench(fresh))
+    print()
+    if args.out is not None:
+        args.out.write_text(json.dumps(fresh, indent=2) + "\n", encoding="utf-8")
+        print("snapshot written to %s" % args.out)
+
+    failures = []
+
+    flatness = fresh["ratios"]["overhead_flatness"]
+    if flatness > MAX_FLATNESS:
+        failures.append(
+            "overhead grew %.2fx from narrowest to widest window "
+            "(ceiling %.1fx) — the margin path is no longer O(n)"
+            % (flatness, MAX_FLATNESS)
+        )
+
+    widest = fresh["runs"][-1]
+    if widest["robust_rows_per_second"] < MIN_ROBUST_ROWS_PER_SECOND:
+        failures.append(
+            "robustness pass at w=%d ran %.0f rows/s, below the %.0f floor"
+            % (
+                widest["width_rows"],
+                widest["robust_rows_per_second"],
+                MIN_ROBUST_ROWS_PER_SECOND,
+            )
+        )
+
+    if args.baseline.exists():
+        baseline = require_valid_robustness_bench_snapshot(
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+        )
+        print("baseline: %s" % args.baseline)
+        for name, committed in sorted(baseline["ratios"].items()):
+            measured = fresh["ratios"].get(name)
+            if measured is None:
+                failures.append("baseline ratio %r missing from fresh sweep" % name)
+                continue
+            ceiling = committed * REGRESSION_FACTOR
+            verdict = "ok" if measured <= ceiling else "REGRESSION"
+            print(
+                "  %-20s committed %6.2fx  measured %6.2fx  ceiling %6.2fx  %s"
+                % (name, committed, measured, ceiling, verdict)
+            )
+            if measured > ceiling:
+                failures.append(
+                    "ratio %s regressed >%gx: %.2fx measured vs %.2fx committed"
+                    % (name, REGRESSION_FACTOR, measured, committed)
+                )
+    else:
+        print(
+            "no committed baseline at %s — schema and ceiling checks only"
+            % args.baseline
+        )
+
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print()
+    print("robustness smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

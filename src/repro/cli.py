@@ -162,6 +162,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "summary goes to stderr"
         ),
     )
+    check_cmd.add_argument(
+        "--robustness",
+        action="store_true",
+        help=(
+            "also compute quantitative robustness margins per rule "
+            "(how far each verdict was from flipping); letters are "
+            "unchanged"
+        ),
+    )
+    check_cmd.add_argument(
+        "--near-miss-threshold",
+        type=float,
+        default=None,
+        help=(
+            "flag passing rules whose margin is at most this value "
+            "(implies --robustness)"
+        ),
+    )
     check_cmd.set_defaults(handler=_cmd_check)
 
     drive_cmd = sub.add_parser(
@@ -181,6 +199,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rules",
         default=None,
         help="stream against a custom .rules file instead of the paper rules",
+    )
+    online_cmd.add_argument(
+        "--robustness",
+        action="store_true",
+        help=(
+            "stream quantitative margin intervals that tighten per "
+            "chunk, with early decisions when an interval excludes zero"
+        ),
     )
     online_cmd.set_defaults(handler=_cmd_online)
 
@@ -404,6 +430,31 @@ def _build_parser() -> argparse.ArgumentParser:
             "JSON file; the letter matrix is unaffected"
         ),
     )
+    table_cmd.add_argument(
+        "--robustness",
+        action="store_true",
+        help=(
+            "also compute the margin-heatmap variant of Table I (how "
+            "close each cell came to violation); letters are unchanged"
+        ),
+    )
+    table_cmd.add_argument(
+        "--near-miss-threshold",
+        type=float,
+        default=None,
+        help=(
+            "flag passing cells whose margin is at most this value "
+            "(implies --robustness)"
+        ),
+    )
+    table_cmd.add_argument(
+        "--margins-out",
+        default=None,
+        help=(
+            "write the canonical repro.robustness.table1/v1 margins "
+            "JSON here (implies --robustness)"
+        ),
+    )
     table_cmd.set_defaults(handler=_cmd_table1)
 
     return parser
@@ -449,10 +500,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     monitor = _load_specset(args.rules, relaxed=args.relaxed).monitor(
         period=args.period
     )
-    oracle = TestOracle(monitor)
     registry = _metrics_registry(args)
     with use_registry(registry):
-        outcome = oracle.judge(trace)
+        report = monitor.check(
+            trace,
+            robustness=args.robustness,
+            near_miss_threshold=args.near_miss_threshold,
+        )
+        outcome = TestOracle(monitor).judge_report(report)
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     print(outcome.report.summary())
@@ -495,7 +550,10 @@ def _cmd_online(args: argparse.Namespace) -> int:
     trace = read_trace(args.trace)
     specs = _load_specset(args.rules, relaxed=args.relaxed)
     online = OnlineMonitor(
-        specs.rules, machines=specs.machines, period=args.period
+        specs.rules,
+        machines=specs.machines,
+        period=args.period,
+        robustness=args.robustness,
     )
     print(
         "streaming %d events (decision latency bound %.2f s)..."
@@ -506,6 +564,12 @@ def _cmd_online(args: argparse.Namespace) -> int:
     report = online.finish(trace_name=trace.name)
     print()
     print(report.summary())
+    if args.robustness:
+        for rule_id, decided_at in sorted(online.early_decisions().items()):
+            print(
+                "early decision: %s certainly violated by stream time %.3fs"
+                % (rule_id, decided_at)
+            )
     return 1 if report.violated_rules() else 0
 
 
@@ -672,6 +736,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         gap_time=args.gap,
         settle_time=args.settle,
         prune=args.prune,
+        robustness=args.robustness or args.margins_out is not None,
+        near_miss_threshold=args.near_miss_threshold,
     )
     tests = single_signal_tests() if args.quick else table1_tests()
     if args.limit is not None:
@@ -693,12 +759,21 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     if args.metrics_out:
         _write_metrics(registry, args.metrics_out)
     text = "%s\n\n%s" % (table.format(), table.shape_summary())
+    if campaign.robustness:
+        text += "\n\n%s" % table.margin_heatmap()
     print()
     print(text)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         _progress("table written to %s" % args.out)
+    if args.margins_out:
+        with open(args.margins_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                table.margins_json(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        _progress("margins written to %s" % args.margins_out)
     rejections = sum(row.rejections for row in table.rows)
     if args.strict and rejections > 0:
         print(

@@ -67,6 +67,7 @@ from repro.core.ast import (
     TraceFunc,
     Unary,
 )
+from repro.core.robustness import Bounds
 from repro.core.types import (
     FALSE_CODE,
     TRUE_CODE,
@@ -119,6 +120,9 @@ class EvalContext:
         self.expr_cache: Optional[Dict[Expr, np.ndarray]] = (
             {} if memo else None
         )
+        self.robust_cache: Optional[Dict[Formula, Bounds]] = (
+            {} if memo else None
+        )
 
     def invalidate_cache(self) -> None:
         """Drop every memoized result (after mutating machines/view)."""
@@ -126,6 +130,8 @@ class EvalContext:
             self.formula_cache.clear()
         if self.expr_cache is not None:
             self.expr_cache.clear()
+        if self.robust_cache is not None:
+            self.robust_cache.clear()
 
     @property
     def n_rows(self) -> int:
@@ -187,6 +193,44 @@ def evaluate_formula(node: Formula, ctx: EvalContext) -> np.ndarray:
     if cache is not None:
         if registry.enabled:
             registry.counter("eval.memo.formula.misses").inc()
+        cache[node] = result
+    return result
+
+
+def evaluate_robustness(node: Formula, ctx: EvalContext) -> Bounds:
+    """Evaluate a formula's robustness interval, one ``[lower, upper]``
+    pair of floats per row.
+
+    The numeric lattice mirrors the boolean one connective for
+    connective (min for ``and``, max for ``or``, inf/sup over temporal
+    windows via the same O(n) kernels), with signed distances at
+    comparisons and ``±inf`` at boolean atoms; truncated windows
+    aggregate against ``[-inf, +inf]`` padding exactly where the boolean
+    path pads UNKNOWN.  See :mod:`repro.core.robustness` for the sign
+    consistency invariant relating the two.
+
+    Results are memoized per context by structural node equality; the
+    returned arrays are shared, so callers must copy before writing.
+    """
+    registry = get_registry()
+    cache = ctx.robust_cache
+    if cache is not None:
+        cached = cache.get(node)
+        if cached is not None:
+            if registry.enabled:
+                registry.counter("eval.memo.robust.hits").inc()
+            return cached
+    if not registry.enabled:
+        result = _evaluate_robustness(node, ctx)
+    else:
+        started = time.perf_counter()
+        result = _evaluate_robustness(node, ctx)
+        registry.histogram(
+            "eval.robust.%s.seconds" % type(node).__name__
+        ).observe(time.perf_counter() - started)
+    if cache is not None:
+        if registry.enabled:
+            registry.counter("eval.memo.robust.misses").inc()
         cache[node] = result
     return result
 
@@ -274,6 +318,69 @@ def _evaluate_formula(node: Formula, ctx: EvalContext) -> np.ndarray:
     if isinstance(node, InState):
         return _in_state(node, ctx)
     raise EvaluationError("cannot evaluate formula node %r" % (node,))
+
+
+def _evaluate_robustness(node: Formula, ctx: EvalContext) -> Bounds:
+    if isinstance(node, Comparison):
+        return Bounds.point(_comparison_margin(node, ctx))
+    if isinstance(node, (BoolConst, SignalPredicate, Fresh, InState)):
+        # Boolean atoms carry no metric: lift the three-valued verdict
+        # into the lattice (TRUE is infinitely robust, FALSE infinitely
+        # violated, UNKNOWN the whole line).  Delegating to the boolean
+        # evaluator reuses its validation and its memo entry.
+        return _bounds_from_codes(evaluate_formula(node, ctx))
+    if isinstance(node, Not):
+        inner = evaluate_robustness(node.operand, ctx)
+        return Bounds(-inner.upper, -inner.lower)
+    if isinstance(node, And):
+        left = evaluate_robustness(node.left, ctx)
+        right = evaluate_robustness(node.right, ctx)
+        return Bounds(
+            np.minimum(left.lower, right.lower),
+            np.minimum(left.upper, right.upper),
+        )
+    if isinstance(node, Or):
+        left = evaluate_robustness(node.left, ctx)
+        right = evaluate_robustness(node.right, ctx)
+        return Bounds(
+            np.maximum(left.lower, right.lower),
+            np.maximum(left.upper, right.upper),
+        )
+    if isinstance(node, Implies):
+        # a -> b  ≡  (not a) or b, interval-wise.
+        left = evaluate_robustness(node.left, ctx)
+        right = evaluate_robustness(node.right, ctx)
+        return Bounds(
+            np.maximum(-left.upper, right.lower),
+            np.maximum(-left.lower, right.upper),
+        )
+    if isinstance(node, Next):
+        inner = evaluate_robustness(node.operand, ctx)
+        if len(inner.lower) == 0:
+            return Bounds(inner.lower.copy(), inner.upper.copy())
+        lower = np.empty_like(inner.lower)
+        upper = np.empty_like(inner.upper)
+        if len(lower) > 1:
+            lower[:-1] = inner.lower[1:]
+            upper[:-1] = inner.upper[1:]
+        lower[-1] = -np.inf
+        upper[-1] = np.inf
+        return Bounds(lower, upper)
+    if isinstance(node, Always):
+        inner = evaluate_robustness(node.operand, ctx)
+        return _robust_window(inner, node.lo, node.hi, ctx, minimum=True)
+    if isinstance(node, Eventually):
+        inner = evaluate_robustness(node.operand, ctx)
+        return _robust_window(inner, node.lo, node.hi, ctx, minimum=False)
+    if isinstance(node, Historically):
+        inner = evaluate_robustness(node.operand, ctx)
+        return _robust_past_window(inner, node.lo, node.hi, ctx, minimum=True)
+    if isinstance(node, Once):
+        inner = evaluate_robustness(node.operand, ctx)
+        return _robust_past_window(inner, node.lo, node.hi, ctx, minimum=False)
+    raise EvaluationError(
+        "cannot evaluate robustness of formula node %r" % (node,)
+    )
 
 
 def future_reach(node: Formula, period: float) -> float:
@@ -379,6 +486,83 @@ def _comparison(node: Comparison, ctx: EvalContext) -> np.ndarray:
         else:
             raise EvaluationError("unknown comparison operator %r" % node.op)
     return bools_to_codes(result)
+
+
+def _comparison_margin(node: Comparison, ctx: EvalContext) -> np.ndarray:
+    """Signed distance to the comparison boundary, one float per row.
+
+    Positive where the comparison holds, negative where it fails, zero
+    on the boundary (consistent with the boolean lattice for the
+    non-strict operators; a strict comparison at exact equality is FALSE
+    with margin 0 — sign consistency requires only ``margin > 0 ⇒ TRUE``
+    and ``margin < 0 ⇒ FALSE``).  Rows where either side is NaN are
+    boolean-FALSE whatever the operator, so their margin is ``-inf``:
+    a corrupted value is infinitely far from satisfying the bound.
+    """
+    left = evaluate_expr(node.left, ctx)
+    right = evaluate_expr(node.right, ctx)
+    with np.errstate(invalid="ignore"):
+        if node.op in ("<", "<="):
+            margin = right - left
+        elif node.op in (">", ">="):
+            margin = left - right
+        elif node.op == "==":
+            margin = -np.abs(left - right)
+        elif node.op == "!=":
+            margin = np.abs(left - right)
+        else:
+            raise EvaluationError(
+                "unknown comparison operator %r" % node.op
+            )
+        # inf - inf and NaN operands both yield NaN; fold every NaN to
+        # the infinity whose sign agrees with the boolean verdict.  IEEE
+        # makes NaN compare unequal to everything, so ``!=`` holds
+        # (margin +inf) while every other operator fails (margin -inf).
+        nan_margin = np.inf if node.op == "!=" else -np.inf
+        return np.where(np.isnan(margin), nan_margin, margin)
+
+
+def _bounds_from_codes(codes: np.ndarray) -> Bounds:
+    """Lift three-valued verdict codes into robustness intervals."""
+    lower = np.where(codes == TRUE_CODE, np.inf, -np.inf)
+    upper = np.where(codes == FALSE_CODE, -np.inf, np.inf)
+    return Bounds(lower, upper)
+
+
+def _robust_window(
+    bounds: Bounds, lo: float, hi: float, ctx: EvalContext, minimum: bool
+) -> Bounds:
+    """Sliding inf/sup of robustness bounds over the window ``[lo, hi]``.
+
+    Rows whose window extends past the trace end aggregate their lower
+    bound against ``-inf`` and their upper bound against ``+inf`` — the
+    missing evidence could be arbitrarily bad or good — which is exactly
+    the interval counterpart of the boolean path's UNKNOWN padding.
+    """
+    lo_idx, hi_idx = bounds_to_rows(lo, hi, ctx.view.period)
+    return Bounds(
+        future_aggregate(
+            bounds.lower, lo_idx, hi_idx, minimum=minimum, pad_value=-np.inf
+        ),
+        future_aggregate(
+            bounds.upper, lo_idx, hi_idx, minimum=minimum, pad_value=np.inf
+        ),
+    )
+
+
+def _robust_past_window(
+    bounds: Bounds, lo: float, hi: float, ctx: EvalContext, minimum: bool
+) -> Bounds:
+    """Past-window mirror of :func:`_robust_window`."""
+    lo_idx, hi_idx = bounds_to_rows(lo, hi, ctx.view.period)
+    return Bounds(
+        past_aggregate(
+            bounds.lower, lo_idx, hi_idx, minimum=minimum, pad_value=-np.inf
+        ),
+        past_aggregate(
+            bounds.upper, lo_idx, hi_idx, minimum=minimum, pad_value=np.inf
+        ),
+    )
 
 
 def _window_aggregate(

@@ -28,9 +28,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.ast import Formula, Implies
-from repro.core.evaluator import EvalContext, evaluate_formula
+from repro.core.evaluator import (
+    EvalContext,
+    evaluate_formula,
+    evaluate_robustness,
+)
 from repro.core.intent import IntentFilter, apply_filters
 from repro.core.parser import parse_formula
+from repro.core.robustness import (
+    RuleRobustness,
+    float_to_json,
+    summarize_bounds,
+)
 from repro.core.statemachine import StateMachine
 from repro.core.types import (
     FALSE_CODE,
@@ -39,7 +48,12 @@ from repro.core.types import (
     Verdict,
     summarize_codes,
 )
-from repro.core.violations import Violation, extract_violations
+from repro.core.violations import (
+    NearMiss,
+    Violation,
+    annotate_margins,
+    extract_violations,
+)
 from repro.core.warmup import WarmupSpec
 from repro.errors import SpecError
 from repro.logs.trace import Trace, TraceView
@@ -148,6 +162,12 @@ class RuleResult:
     rows_checked: int
     rows_masked: int
     rows_unknown: int
+    #: Rule-level robustness interval; ``None`` unless the check ran
+    #: with ``robustness=True``.
+    robustness: Optional[RuleRobustness] = None
+    #: Near-miss record for a passing rule whose margin fell at or
+    #: under the configured threshold; ``None`` otherwise.
+    near_miss: Optional[NearMiss] = None
 
     @property
     def violated(self) -> bool:
@@ -203,6 +223,25 @@ class MonitorReport:
         """Total violations across rules (post-filter)."""
         return sum(len(r.violations) for r in self.results.values())
 
+    def margins(self) -> Dict[str, RuleRobustness]:
+        """Per-rule robustness intervals (rules checked with margins)."""
+        return {
+            rule_id: result.robustness
+            for rule_id, result in self.results.items()
+            if result.robustness is not None
+        }
+
+    def near_misses(self) -> List[NearMiss]:
+        """All near-miss records, closest approach first."""
+        return sorted(
+            (
+                result.near_miss
+                for result in self.results.values()
+                if result.near_miss is not None
+            ),
+            key=lambda near: near.margin,
+        )
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable digest of the report (for tooling/CI)."""
         return {
@@ -212,49 +251,73 @@ class MonitorReport:
             "all_satisfied": self.all_satisfied,
             "notes": list(self.notes),
             "rules": {
-                rule_id: {
-                    "name": result.rule.name,
-                    "letter": result.letter,
-                    "verdict": result.verdict.name,
-                    "violations": [
-                        {
-                            "start_time": violation.start_time,
-                            "end_time": violation.end_time,
-                            "rows": violation.rows,
-                            "severity": violation.severity.value,
-                            "witness": dict(violation.witness),
-                        }
-                        for violation in result.violations
-                    ],
-                    "dismissed": len(result.dismissed),
-                    "rows_checked": result.rows_checked,
-                    "rows_masked": result.rows_masked,
-                    "rows_unknown": result.rows_unknown,
-                }
+                rule_id: self._rule_dict(result)
                 for rule_id, result in self.results.items()
             },
         }
 
+    @staticmethod
+    def _rule_dict(result: RuleResult) -> Dict[str, object]:
+        digest: Dict[str, object] = {
+            "name": result.rule.name,
+            "letter": result.letter,
+            "verdict": result.verdict.name,
+            "violations": [
+                {
+                    "start_time": violation.start_time,
+                    "end_time": violation.end_time,
+                    "rows": violation.rows,
+                    "severity": violation.severity.value,
+                    "witness": dict(violation.witness),
+                    "margin": float_to_json(violation.margin),
+                }
+                for violation in result.violations
+            ],
+            "dismissed": len(result.dismissed),
+            "rows_checked": result.rows_checked,
+            "rows_masked": result.rows_masked,
+            "rows_unknown": result.rows_unknown,
+        }
+        if result.robustness is not None:
+            digest["robustness"] = result.robustness.to_dict()
+        if result.near_miss is not None:
+            digest["near_miss"] = result.near_miss.to_dict()
+        return digest
+
     def summary(self) -> str:
-        """Human-readable per-rule table."""
+        """Human-readable per-rule table.
+
+        When the check ran with margins, each row gains a robustness
+        column (the interval, or the point margin once decided) and
+        near misses are listed after the table.
+        """
+        with_margins = bool(self.margins())
         lines = [
             "trace %r  (%.1f s at %.0f ms)"
             % (self.trace_name, self.duration, self.period * 1000.0),
-            "%-8s %-7s %-10s %-10s %s"
-            % ("rule", "letter", "violations", "dismissed", "name"),
         ]
+        header = "%-8s %-7s %-10s %-10s" % (
+            "rule", "letter", "violations", "dismissed",
+        )
+        if with_margins:
+            header += " %-22s" % "robustness"
+        lines.append(header + " name")
         for rule_id in sorted(self.results):
             result = self.results[rule_id]
-            lines.append(
-                "%-8s %-7s %-10d %-10d %s"
-                % (
-                    rule_id,
-                    result.letter,
-                    len(result.violations),
-                    len(result.dismissed),
-                    result.rule.name,
-                )
+            row = "%-8s %-7s %-10d %-10d" % (
+                rule_id,
+                result.letter,
+                len(result.violations),
+                len(result.dismissed),
             )
+            if with_margins:
+                row += " %-22s" % (
+                    "-" if result.robustness is None
+                    else str(result.robustness)
+                )
+            lines.append(row + " " + result.rule.name)
+        for near in self.near_misses():
+            lines.append("near miss: %s" % near)
         for note in self.notes:
             lines.append("note: %s" % note)
         return "\n".join(lines)
@@ -326,18 +389,47 @@ class Monitor:
         trace: Trace,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        robustness: bool = False,
+        near_miss_threshold: Optional[float] = None,
     ) -> MonitorReport:
-        """Check every rule against ``trace`` and build a report."""
+        """Check every rule against ``trace`` and build a report.
+
+        With ``robustness=True`` each rule additionally gets its
+        quantitative margin interval (see
+        :mod:`repro.core.robustness`) and each violation its depth;
+        ``near_miss_threshold`` then flags passing rules whose certain
+        margin bound is at most the threshold.  The boolean verdicts
+        and letters are bit-identical either way — the numeric lattice
+        runs beside the boolean one, never instead of it.
+        """
         view = trace.to_view(
             self.period,
             signals=self.required_signals(),
             start=start,
             end=end,
         )
-        return self.check_view(view, trace_name=trace.name)
+        return self.check_view(
+            view,
+            trace_name=trace.name,
+            robustness=robustness,
+            near_miss_threshold=near_miss_threshold,
+        )
 
-    def check_view(self, view: TraceView, trace_name: str = "") -> MonitorReport:
+    def check_view(
+        self,
+        view: TraceView,
+        trace_name: str = "",
+        robustness: bool = False,
+        near_miss_threshold: Optional[float] = None,
+    ) -> MonitorReport:
         """Check every rule against an already-built view."""
+        if near_miss_threshold is not None:
+            if near_miss_threshold < 0:
+                raise SpecError(
+                    "near_miss_threshold must be non-negative, got %r"
+                    % (near_miss_threshold,)
+                )
+            robustness = True
         registry = get_registry()
         registry.counter("monitor.checks").inc()
         ctx = EvalContext(view, memo=self.memo)
@@ -352,12 +444,23 @@ class Monitor:
         )
         for rule in self.rules:
             with registry.span("monitor.rule.%s" % rule.rule_id):
-                report.results[rule.rule_id] = self._check_rule(rule, ctx)
+                report.results[rule.rule_id] = self._check_rule(
+                    rule,
+                    ctx,
+                    robustness=robustness,
+                    near_miss_threshold=near_miss_threshold,
+                )
         return report
 
     # ------------------------------------------------------------------
 
-    def _check_rule(self, rule: Rule, ctx: EvalContext) -> RuleResult:
+    def _check_rule(
+        self,
+        rule: Rule,
+        ctx: EvalContext,
+        robustness: bool = False,
+        near_miss_threshold: Optional[float] = None,
+    ) -> RuleResult:
         view = ctx.view
         codes = evaluate_formula(rule.effective_formula(), ctx).copy()
 
@@ -392,6 +495,24 @@ class Monitor:
         else:
             verdict = summarize_codes(codes)
 
+        rule_robustness: Optional[RuleRobustness] = None
+        near_miss = None
+        if robustness:
+            bounds = evaluate_robustness(rule.effective_formula(), ctx)
+            lower = bounds.lower.copy()
+            upper = bounds.upper.copy()
+            # Masked rows are neutral in the numeric lattice too — they
+            # cannot be the rule's minimum, exactly as the boolean path
+            # forces them TRUE.
+            lower[masked] = np.inf
+            upper[masked] = np.inf
+            rule_robustness = summarize_bounds(lower, upper, view.times)
+            kept = annotate_margins(kept, upper)
+            dropped = annotate_margins(dropped, upper)
+            near_miss = _detect_near_miss(
+                rule.rule_id, rule_robustness, kept, near_miss_threshold
+            )
+
         result = RuleResult(
             rule=rule,
             verdict=verdict,
@@ -401,10 +522,46 @@ class Monitor:
             rows_checked=int((~masked).sum()),
             rows_masked=int(masked.sum()),
             rows_unknown=int((codes == UNKNOWN_CODE).sum()),
+            robustness=rule_robustness,
+            near_miss=near_miss,
         )
         registry = get_registry()
         registry.counter("monitor.rows_checked").inc(result.rows_checked)
         registry.counter("monitor.rows_masked").inc(result.rows_masked)
         registry.counter("monitor.violations").inc(len(kept))
         registry.counter("monitor.dismissed").inc(len(dropped))
+        if robustness:
+            registry.counter("monitor.margins").inc()
+            if near_miss is not None:
+                registry.counter("monitor.near_misses").inc()
         return result
+
+
+def _detect_near_miss(
+    rule_id: str,
+    robustness: RuleRobustness,
+    kept: List[Violation],
+    threshold: Optional[float],
+) -> Optional[NearMiss]:
+    """The near-miss policy shared by the offline and online monitors.
+
+    Only *passing* rules (letter ``S``) can near-miss — a violated rule
+    is reported through its violations, margin-annotated.  The certain
+    margin bound must be finite (an ``inf`` bound means nothing metric
+    was ever at stake) and at most the threshold.  ``crossed`` marks a
+    negative margin: the raw formula failed somewhere, but intent
+    filters dismissed every run.
+    """
+    if threshold is None or kept:
+        return None
+    margin = robustness.upper
+    if not np.isfinite(margin) or margin > threshold:
+        return None
+    return NearMiss(
+        rule_id=rule_id,
+        margin=margin,
+        time=robustness.worst_time,
+        row=robustness.worst_row,
+        threshold=threshold,
+        crossed=margin < 0.0,
+    )

@@ -66,6 +66,7 @@ import numpy as np
 from repro.core.evaluator import (
     EvalContext,
     evaluate_formula,
+    evaluate_robustness,
     future_reach,
     past_reach,
 )
@@ -76,7 +77,9 @@ from repro.core.monitor import (
     MonitorReport,
     Rule,
     RuleResult,
+    _detect_near_miss,
 )
+from repro.core.robustness import RuleRobustness
 from repro.core.statemachine import StateMachine
 from repro.core.types import (
     FALSE_CODE,
@@ -101,6 +104,20 @@ class _RuleProgress:
     rows_masked: int = 0
     rows_unknown: int = 0
     any_false: bool = False
+    # Running minima of the emitted rows' robustness bounds.  Each
+    # emitted row's bounds equal the offline evaluation's (the chunk
+    # view covers its whole temporal window), so at finish these minima
+    # *are* the offline rule-level interval.  Mid-stream the certain
+    # bound (rob_upper) is already final for emitted rows and can only
+    # decrease; the lower bound is genuinely -inf until the stream ends
+    # (an unseen future row could be arbitrarily violating).
+    rob_lower: float = math.inf
+    rob_upper: float = math.inf
+    worst_row: Optional[int] = None
+    worst_time: Optional[float] = None
+    #: Stream time at which the interval first excluded zero (the
+    #: margin analogue of the boolean early-violation callback).
+    decided_time: Optional[float] = None
 
 
 class OnlineMonitor:
@@ -120,6 +137,12 @@ class OnlineMonitor:
             each distinct subformula once across all rules (the same
             cross-rule cache the offline monitor uses, scoped to the
             chunk's context).
+        robustness: also stream quantitative margins: each emitted
+            chunk tightens a per-rule ``[lower, upper]`` interval (see
+            :meth:`robustness_intervals`) that always brackets the
+            offline margin and collapses to it at :meth:`finish`.
+        near_miss_threshold: flag passing rules whose final margin is
+            at most this (implies ``robustness``).
     """
 
     def __init__(
@@ -130,6 +153,8 @@ class OnlineMonitor:
         min_chunk_rows: int = 50,
         retention: float = 1.0,
         memo: bool = True,
+        robustness: bool = False,
+        near_miss_threshold: Optional[float] = None,
     ) -> None:
         # Reuse the offline monitor's validation and signal bookkeeping.
         self._offline = Monitor(rules, machines=machines, period=period, memo=memo)
@@ -138,6 +163,15 @@ class OnlineMonitor:
         self.period = period
         self.min_chunk_rows = max(1, min_chunk_rows)
         self.memo = memo
+        if near_miss_threshold is not None:
+            if near_miss_threshold < 0:
+                raise TraceError(
+                    "near_miss_threshold must be non-negative, got %r"
+                    % (near_miss_threshold,)
+                )
+            robustness = True
+        self.robustness = robustness
+        self.near_miss_threshold = near_miss_threshold
 
         reach = 0.0
         history = retention
@@ -297,6 +331,22 @@ class OnlineMonitor:
                 verdict = Verdict.TRUE
             else:
                 verdict = Verdict.UNKNOWN
+            robustness = None
+            near_miss = None
+            if self.robustness:
+                lower, upper = self.robustness_intervals()[rule.rule_id]
+                robustness = RuleRobustness(
+                    lower=lower,
+                    upper=upper,
+                    worst_row=progress.worst_row,
+                    worst_time=progress.worst_time,
+                )
+                near_miss = _detect_near_miss(
+                    rule.rule_id,
+                    robustness,
+                    progress.violations,
+                    self.near_miss_threshold,
+                )
             report.results[rule.rule_id] = RuleResult(
                 rule=rule,
                 verdict=verdict,
@@ -306,6 +356,8 @@ class OnlineMonitor:
                 rows_checked=progress.rows_checked,
                 rows_masked=progress.rows_masked,
                 rows_unknown=progress.rows_unknown,
+                robustness=robustness,
+                near_miss=near_miss,
             )
         return report
 
@@ -471,6 +523,11 @@ class OnlineMonitor:
         progress.rows_checked += int((~masked[lo : hi + 1]).sum())
         progress.rows_unknown += int((window == UNKNOWN_CODE).sum())
 
+        if self.robustness:
+            self._accumulate_robustness(
+                rule, ctx, masked, progress, history_start, lo, hi
+            )
+
         # As offline: witness columns are only sliced out when the
         # emitted window actually contains a violation.
         if (window == FALSE_CODE).any():
@@ -500,6 +557,90 @@ class OnlineMonitor:
         fresh = self._absorb(progress.violations, kept)
         self._absorb(progress.dismissed, dropped)
         return fresh
+
+    def _accumulate_robustness(
+        self,
+        rule: Rule,
+        ctx: EvalContext,
+        masked: np.ndarray,
+        progress: _RuleProgress,
+        history_start: int,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Fold the emitted rows' robustness bounds into the running
+        interval.
+
+        Emitted rows have complete temporal windows inside the chunk
+        view, so their bounds equal the offline evaluation's — the
+        running minima therefore converge to exactly the offline
+        rule-level interval (a property the fuzz harness checks).
+        """
+        bounds = evaluate_robustness(rule.effective_formula(), ctx)
+        row_lower = bounds.lower.copy()
+        row_upper = bounds.upper.copy()
+        row_lower[masked] = np.inf
+        row_upper[masked] = np.inf
+        chunk_lower = row_lower[lo : hi + 1]
+        chunk_upper = row_upper[lo : hi + 1]
+        progress.rob_lower = min(
+            progress.rob_lower, float(chunk_lower.min())
+        )
+        chunk_min = float(chunk_upper.min())
+        if chunk_min < progress.rob_upper:
+            # Strict improvement only, so ties keep the earliest chunk's
+            # row — matching offline argmin's first-occurrence rule.
+            progress.rob_upper = chunk_min
+            index = int(np.argmin(chunk_upper))
+            progress.worst_row = history_start + lo + index
+            # Recompute from the stream origin rather than reading the
+            # chunk view's times: the view's base is already the sum
+            # t0 + history_start*period, and adding the in-view offset
+            # to that drifts a last-place unit from the offline view's
+            # t0 + row*period.
+            progress.worst_time = (
+                self._start_time + self.period * progress.worst_row
+            )
+        if progress.decided_time is None and progress.rob_upper < 0.0:
+            # The interval [-inf, rob_upper] now excludes zero: the
+            # rule is already certainly violated, however the stream
+            # continues.
+            progress.decided_time = self._latest
+            get_registry().counter("online.early_decisions").inc()
+
+    def robustness_intervals(self) -> Dict[str, Tuple[float, float]]:
+        """Current per-rule ``[lower, upper]`` margin intervals.
+
+        Mid-stream the lower bound is ``-inf`` — future rows can be
+        arbitrarily violating — while the upper bound only tightens
+        (monotonically non-increasing) as chunks are emitted.  After
+        :meth:`finish` the interval equals the offline check's: both
+        bounds are the minima over all emitted rows.  The offline
+        margin interval is always contained in every intermediate
+        interval reported here.
+        """
+        if not self.robustness:
+            raise TraceError(
+                "robustness intervals require OnlineMonitor(robustness=True)"
+            )
+        intervals: Dict[str, Tuple[float, float]] = {}
+        for rule in self.rules:
+            progress = self._progress[rule.rule_id]
+            if self._finished and progress.rows_total:
+                lower = progress.rob_lower
+            else:
+                lower = -math.inf
+            intervals[rule.rule_id] = (lower, progress.rob_upper)
+        return intervals
+
+    def early_decisions(self) -> Dict[str, float]:
+        """Rules whose interval excluded zero mid-stream, with the
+        stream time of that decision."""
+        return {
+            rule.rule_id: self._progress[rule.rule_id].decided_time
+            for rule in self.rules
+            if self._progress[rule.rule_id].decided_time is not None
+        }
 
     @staticmethod
     def _absorb(

@@ -20,6 +20,7 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.core.robustness import float_from_json, float_to_json
 from repro.core.types import FALSE_CODE
 
 #: Violations at or below this duration are transients, seconds.
@@ -61,6 +62,12 @@ class Violation:
     witness_columns: Mapping[str, np.ndarray] = field(
         default_factory=dict, compare=False
     )
+    #: Robustness margin over the violating span (the most negative
+    #: upper bound — how deep the violation went), populated only when
+    #: the monitor runs with ``robustness=True``.  Excluded from
+    #: equality so margin-annotated records still compare equal to
+    #: their boolean-only counterparts.
+    margin: Optional[float] = field(default=None, compare=False)
 
     @property
     def rows(self) -> int:
@@ -82,13 +89,16 @@ class Violation:
         return Severity.SUSTAINED
 
     def __str__(self) -> str:
-        return "%s violated %.3f..%.3fs (%d rows, %s)" % (
+        text = "%s violated %.3f..%.3fs (%d rows, %s)" % (
             self.rule_id,
             self.start_time,
             self.end_time,
             self.rows,
             self.severity.value,
         )
+        if self.margin is not None:
+            text += " depth %.4g" % -self.margin
+        return text
 
 
 def extract_violations(
@@ -168,3 +178,103 @@ def merge_close(
         else:
             merged.append(violation)
     return merged
+
+
+@dataclass(frozen=True)
+class NearMiss:
+    """A passing rule that came within ``threshold`` of violating.
+
+    The §V-C experience reports hinged on *how close* nominal drives
+    came to tripping a rule — evidence the boolean letters cannot carry.
+    A near-miss record is produced for a rule whose final letter is
+    ``S`` but whose certain margin bound (the minimal per-row upper
+    bound over unmasked rows) is finite and at most ``threshold``.
+
+    ``crossed`` marks the sharpest case: the margin is *negative* — some
+    row genuinely violated the raw formula — yet the rule still reports
+    ``S`` because intent filters dismissed every violation run.  Margins
+    are deliberately pre-filter quantities (filters encode engineering
+    intent, not distance), so a crossed near-miss is exactly the
+    "relaxation is hiding a real excursion" signal a reviewer wants.
+
+    Attributes:
+        rule_id: the rule that nearly tripped.
+        margin: the certain margin bound (signed; negative ⇒ crossed).
+        time: timestamp of the closest approach, seconds.
+        row: row index of the closest approach.
+        threshold: the configured near-miss threshold this fell under.
+        crossed: whether the raw formula was actually violated.
+    """
+
+    rule_id: str
+    margin: float
+    time: Optional[float]
+    row: Optional[int]
+    threshold: float
+    crossed: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe digest (``±inf`` encoded, NaN rejected)."""
+        return {
+            "rule_id": self.rule_id,
+            "margin": float_to_json(self.margin),
+            "time": self.time,
+            "row": self.row,
+            "threshold": float_to_json(self.threshold),
+            "crossed": self.crossed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "NearMiss":
+        """Rebuild from :meth:`to_dict` output."""
+        row = payload.get("row")
+        time = payload.get("time")
+        return cls(
+            rule_id=str(payload["rule_id"]),
+            margin=float_from_json(payload["margin"]),
+            time=None if time is None else float(time),
+            row=None if row is None else int(row),
+            threshold=float_from_json(payload["threshold"]),
+            crossed=bool(payload["crossed"]),
+        )
+
+    def __str__(self) -> str:
+        kind = "crossed (dismissed)" if self.crossed else "near miss"
+        at = "" if self.time is None else " at %.3fs" % self.time
+        return "%s %s: margin %.4g%s (threshold %.4g)" % (
+            self.rule_id,
+            kind,
+            self.margin,
+            at,
+            self.threshold,
+        )
+
+
+def annotate_margins(
+    violations: List[Violation], upper: np.ndarray
+) -> List[Violation]:
+    """Attach per-violation margins from a row-wise upper-bound array.
+
+    Each record's margin is the most negative upper bound over its
+    ``[start_row, end_row]`` span — the depth of that violating run.
+    ``upper`` must be indexed in the same row coordinates the violations
+    carry.
+    """
+    annotated = []
+    for violation in violations:
+        depth = upper[violation.start_row : violation.end_row + 1]
+        margin = float(depth.min()) if len(depth) else None
+        annotated.append(
+            Violation(
+                rule_id=violation.rule_id,
+                start_row=violation.start_row,
+                end_row=violation.end_row,
+                start_time=violation.start_time,
+                end_time=violation.end_time,
+                period=violation.period,
+                witness=violation.witness,
+                witness_columns=violation.witness_columns,
+                margin=margin,
+            )
+        )
+    return annotated

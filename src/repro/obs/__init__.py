@@ -16,6 +16,13 @@ from repro.obs.bench_online import (
     require_valid_online_bench_snapshot,
     validate_online_bench_snapshot,
 )
+from repro.obs.bench_robustness import (
+    ROBUSTNESS_BENCH_SCHEMA_VERSION,
+    bench_robustness,
+    format_robustness_bench,
+    require_valid_robustness_bench_snapshot,
+    validate_robustness_bench_snapshot,
+)
 from repro.obs.metrics import (
     SCHEMA_VERSION,
     Counter,
@@ -39,6 +46,7 @@ from repro.obs.schema import (
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "ONLINE_BENCH_SCHEMA_VERSION",
+    "ROBUSTNESS_BENCH_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "Counter",
     "Gauge",
@@ -52,12 +60,16 @@ __all__ = [
     "use_registry",
     "bench_monitor",
     "bench_online",
+    "bench_robustness",
     "format_bench",
     "format_online_bench",
+    "format_robustness_bench",
     "require_valid_bench_snapshot",
     "require_valid_online_bench_snapshot",
+    "require_valid_robustness_bench_snapshot",
     "require_valid_snapshot",
     "validate_bench_snapshot",
     "validate_online_bench_snapshot",
+    "validate_robustness_bench_snapshot",
     "validate_snapshot",
 ]

@@ -1,0 +1,255 @@
+"""Machine-readable robustness-evaluator benchmarks
+(``repro.bench.robustness/v1``).
+
+One snapshot format shared by the committed baseline
+(``results/BENCH_robustness.json``) and the CI robustness-smoke gate
+(``benchmarks/robustness_smoke.py``)::
+
+    {
+      "schema": "repro.bench.robustness/v1",
+      "period": <number>,
+      "rows": <int>,
+      "runs": [                       # window-width sweep
+        {"width_rows": <int>,
+         "bool_seconds": <number>,    "robust_seconds": <number>,
+         "bool_rows_per_second": <number>,
+         "robust_rows_per_second": <number>,
+         "overhead": <number>},       # robust_seconds / bool_seconds
+        ...
+      ],
+      "ratios": {
+        "overhead_widest": <number>,  # overhead at the widest window
+        "overhead_flatness": <number> # overhead(widest)/overhead(narrowest)
+      }
+    }
+
+Both ratios are same-machine quantities — absolute rows/s varies wildly
+between hosts, "the margin pass costs a constant factor regardless of
+window width" does not:
+
+* ``overhead_widest`` is the price of margins relative to boolean
+  verdicts at the widest window.  The robustness lattice evaluates two
+  float arrays (lower and upper bounds) where the boolean path
+  evaluates one int8 array, so a small constant (~2–4×) is expected; a
+  blow-up means the margin path fell off the O(n) kernels.
+* ``overhead_flatness`` ≈ 1.0 is the headline property: the
+  kernel-backed robustness path scales with trace length exactly like
+  the boolean one, independent of window width.  A naive O(n·w)
+  robustness aggregate would show up here immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Schema tag carried by every robustness bench snapshot.
+ROBUSTNESS_BENCH_SCHEMA_VERSION = "repro.bench.robustness/v1"
+
+_PERIOD = 0.02
+
+
+def _bench_formula(width_rows: int, period: float):
+    from repro.core.parser import parse_formula
+
+    # One future and one past window plus propositional structure: the
+    # same operator mix the paper rules use, at a parameterized width.
+    millis = int(round(width_rows * period * 1000.0))
+    return parse_formula(
+        "always[0, %dms] (x < 2.0 and (y > -3.0 or once[0, %dms] y > 0.5))"
+        % (millis, millis)
+    )
+
+
+def _bench_trace(rows: int, period: float, seed: int):
+    from repro.logs.trace import Trace
+
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, 1.0, size=rows)
+    ys = rng.uniform(0.0, 1.0, size=rows)
+    trace = Trace("bench")
+    for row in range(rows):
+        timestamp = row * period
+        trace.record("x", timestamp, float(xs[row]))
+        trace.record("y", timestamp, float(ys[row]))
+    return trace
+
+
+def bench_robustness(
+    rows: int = 100_000,
+    widths: Sequence[int] = (25, 250, 1000),
+    repeats: int = 3,
+    period: float = _PERIOD,
+    seed: int = 2014,
+) -> Dict[str, object]:
+    """Sweep window widths, timing boolean vs robustness evaluation.
+
+    Returns a ``repro.bench.robustness/v1`` snapshot (see module
+    docstring).  Each width is timed best-of-``repeats`` on a fresh
+    :class:`~repro.core.evaluator.EvalContext` (no memo carry-over
+    between the two lattices), and every robustness result is checked
+    for sign consistency against the boolean codes before its timing is
+    trusted — a bench that gets wrong answers fast must not pass.
+    """
+    from repro.core.evaluator import EvalContext, evaluate_formula, evaluate_robustness
+    from repro.core.types import FALSE_CODE, TRUE_CODE
+
+    trace = _bench_trace(rows, period, seed)
+
+    runs: List[Dict[str, object]] = []
+    for width in widths:
+        formula = _bench_formula(width, period)
+
+        bool_best = float("inf")
+        robust_best = float("inf")
+        for _ in range(repeats):
+            ctx = EvalContext(trace.to_view(period, signals=("x", "y")))
+            started = time.perf_counter()
+            codes = evaluate_formula(formula, ctx)
+            bool_best = min(bool_best, time.perf_counter() - started)
+
+            ctx = EvalContext(trace.to_view(period, signals=("x", "y")))
+            started = time.perf_counter()
+            bounds = evaluate_robustness(formula, ctx)
+            robust_best = min(robust_best, time.perf_counter() - started)
+
+        # Untimed audit: the margin signs must agree with the verdicts.
+        if ((bounds.lower > 0) & (codes != TRUE_CODE)).any() or (
+            (bounds.upper < 0) & (codes != FALSE_CODE)
+        ).any():
+            raise AssertionError(
+                "robustness/boolean sign mismatch at width %d" % width
+            )
+
+        runs.append(
+            {
+                "width_rows": int(width),
+                "bool_seconds": bool_best,
+                "robust_seconds": robust_best,
+                "bool_rows_per_second": rows / bool_best,
+                "robust_rows_per_second": rows / robust_best,
+                "overhead": robust_best / bool_best,
+            }
+        )
+
+    narrowest, widest = runs[0], runs[-1]
+    ratios = {
+        "overhead_widest": widest["overhead"],
+        "overhead_flatness": widest["overhead"] / narrowest["overhead"],
+    }
+    return {
+        "schema": ROBUSTNESS_BENCH_SCHEMA_VERSION,
+        "period": float(period),
+        "rows": int(rows),
+        "runs": runs,
+        "ratios": ratios,
+    }
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def validate_robustness_bench_snapshot(snapshot: object) -> List[str]:
+    """All the ways ``snapshot`` fails to be a valid robustness bench
+    dump."""
+    from repro.obs.schema import _is_count, _is_number
+
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return ["snapshot must be a JSON object, got %s" % type(snapshot).__name__]
+    if snapshot.get("schema") != ROBUSTNESS_BENCH_SCHEMA_VERSION:
+        problems.append(
+            "schema must be %r, got %r"
+            % (ROBUSTNESS_BENCH_SCHEMA_VERSION, snapshot.get("schema"))
+        )
+    if not _is_number(snapshot.get("period")) or snapshot.get("period", 0) <= 0:
+        problems.append("needs a positive numeric 'period'")
+    if not _is_count(snapshot.get("rows")) or not snapshot.get("rows"):
+        problems.append("needs a positive integer 'rows'")
+    runs = snapshot.get("runs")
+    if not isinstance(runs, list) or len(runs) < 2:
+        problems.append("'runs' must list at least two window widths")
+        runs = []
+    last_width = -1
+    for index, entry in enumerate(runs):
+        where = "runs[%d]" % index
+        if not isinstance(entry, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        if not _is_count(entry.get("width_rows")):
+            problems.append(
+                "%s 'width_rows' must be a non-negative integer" % where
+            )
+        elif entry["width_rows"] <= last_width:
+            problems.append(
+                "%s widths must be strictly increasing" % where
+            )
+        else:
+            last_width = entry["width_rows"]
+        for key in (
+            "bool_seconds",
+            "robust_seconds",
+            "bool_rows_per_second",
+            "robust_rows_per_second",
+            "overhead",
+        ):
+            if not _is_number(entry.get(key)) or entry.get(key, 0) <= 0:
+                problems.append("%s %r must be a positive number" % (where, key))
+    ratios = snapshot.get("ratios")
+    if not isinstance(ratios, dict):
+        problems.append("missing or non-object section 'ratios'")
+    else:
+        for key in ("overhead_widest", "overhead_flatness"):
+            if not _is_number(ratios.get(key)) or ratios.get(key, 0) <= 0:
+                problems.append("ratio %r must be a positive number" % key)
+    return problems
+
+
+def require_valid_robustness_bench_snapshot(
+    snapshot: object,
+) -> Dict[str, object]:
+    """Validate and return a snapshot; raise ``ValueError`` otherwise."""
+    problems = validate_robustness_bench_snapshot(snapshot)
+    if problems:
+        raise ValueError(
+            "invalid robustness bench snapshot: %s" % "; ".join(problems)
+        )
+    return snapshot  # type: ignore[return-value]
+
+
+def format_robustness_bench(snapshot: Dict[str, object]) -> str:
+    """A human-readable table for a robustness bench snapshot."""
+    lines = [
+        "ROBUSTNESS EVALUATOR SWEEP (%d rows at %.0f ms)"
+        % (snapshot["rows"], snapshot["period"] * 1000.0),
+        "",
+        "%-12s %14s %14s %16s %16s %10s"
+        % (
+            "width",
+            "bool s",
+            "robust s",
+            "bool rows/s",
+            "robust rows/s",
+            "overhead",
+        ),
+    ]
+    for entry in snapshot["runs"]:
+        lines.append(
+            "%-12s %14.4f %14.4f %16.0f %16.0f %10.2f"
+            % (
+                "%d rows" % entry["width_rows"],
+                entry["bool_seconds"],
+                entry["robust_seconds"],
+                entry["bool_rows_per_second"],
+                entry["robust_rows_per_second"],
+                entry["overhead"],
+            )
+        )
+    lines.append("")
+    for name in sorted(snapshot["ratios"]):
+        lines.append("ratio %-22s %.3f" % (name, snapshot["ratios"][name]))
+    return "\n".join(lines)

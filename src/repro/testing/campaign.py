@@ -72,6 +72,10 @@ class TestOutcome:
 
     ``report`` is ``None`` when audit pruning skipped the whole test
     (every rule statically dead for its targets — see ``prune``).
+    ``margins`` is ``None`` unless the campaign ran with
+    ``robustness=True``; then it maps each rule id to its JSON-safe
+    robustness digest (plus a ``near_miss`` flag), or to ``None`` for
+    cells audit pruning skipped without monitoring.
     """
 
     test: InjectionTest
@@ -80,6 +84,7 @@ class TestOutcome:
     collisions: int
     rejections: int
     trace: Optional[Trace] = None
+    margins: Optional[Dict[str, Optional[Dict[str, object]]]] = None
 
     def to_row(self) -> TableRow:
         """Convert to a Table I row."""
@@ -90,6 +95,7 @@ class TestOutcome:
             letters=dict(self.letters),
             collisions=self.collisions,
             rejections=self.rejections,
+            margins=None if self.margins is None else dict(self.margins),
         )
 
 
@@ -165,11 +171,26 @@ class RobustnessCampaign:
         settle_time: float = SETTLE_TIME,
         keep_traces: bool = False,
         prune: Optional[str] = None,
+        robustness: bool = False,
+        near_miss_threshold: Optional[float] = None,
     ) -> None:
         if prune not in (None, "audit"):
             raise ValueError(
                 "unknown prune mode %r; expected None or 'audit'" % (prune,)
             )
+        if near_miss_threshold is not None:
+            if near_miss_threshold < 0:
+                raise ValueError(
+                    "near_miss_threshold must be non-negative, got %r"
+                    % (near_miss_threshold,)
+                )
+            robustness = True
+        #: Also compute per-cell robustness margins (the heatmap variant
+        #: of Table I).  The letters are bit-identical either way — the
+        #: margin pass reads the same trace the letters came from and
+        #: never touches the RNG.
+        self.robustness = robustness
+        self.near_miss_threshold = near_miss_threshold
         self.rules = list(rules) if rules is not None else paper_rules()
         self.checker = checker
         self.seed = seed
@@ -272,6 +293,11 @@ class RobustnessCampaign:
                 letters={rule.rule_id: "S" for rule in self.rules},
                 collisions=0,
                 rejections=0,
+                margins=(
+                    {rule.rule_id: None for rule in self.rules}
+                    if self.robustness
+                    else None
+                ),
             )
         with registry.span("campaign.test"):
             derived_seed = self._derive_seed(test.label)
@@ -303,7 +329,11 @@ class RobustnessCampaign:
                 monitor = (
                     Monitor(live) if dead else self.make_monitor()
                 )
-                report = monitor.check(result.trace)
+                report = monitor.check(
+                    result.trace,
+                    robustness=self.robustness,
+                    near_miss_threshold=self.near_miss_threshold,
+                )
         if dead:
             registry.counter("campaign.pruned_cells").inc(len(dead))
         letters = {
@@ -312,6 +342,17 @@ class RobustnessCampaign:
             )
             for rule in self.rules
         }
+        margins = None
+        if self.robustness:
+            margins = {}
+            for rule in self.rules:
+                if rule.rule_id in dead:
+                    margins[rule.rule_id] = None
+                    continue
+                checked = report.result(rule.rule_id)
+                digest = checked.robustness.to_dict()
+                digest["near_miss"] = checked.near_miss is not None
+                margins[rule.rule_id] = digest
         registry.counter("campaign.rejections").inc(result.injection_rejections)
         registry.counter("campaign.collisions").inc(result.collisions)
         return TestOutcome(
@@ -321,6 +362,7 @@ class RobustnessCampaign:
             collisions=result.collisions,
             rejections=result.injection_rejections,
             trace=result.trace if self.keep_traces else None,
+            margins=margins,
         )
 
     def run_table1(

@@ -98,6 +98,11 @@ class TableRow:
     letters: Dict[str, str]
     collisions: int = 0
     rejections: int = 0
+    #: Per-rule robustness digests (``lower``/``upper``/``worst_row``/
+    #: ``worst_time``/``near_miss``, infinities JSON-encoded), present
+    #: only for campaigns run with ``robustness=True``.  A ``None``
+    #: entry is a cell audit pruning skipped without monitoring.
+    margins: Optional[Dict[str, Optional[Dict[str, object]]]] = None
 
     def letter_string(self) -> str:
         """The row's letters as a compact ``SVSV...`` string."""
@@ -137,6 +142,76 @@ class Table1:
             letters = " ".join(row.letters[rule_id] for rule_id in RULE_IDS)
             lines.append("%-28s %s" % (row.label, letters))
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Margin heatmap (robustness campaigns)
+    # ------------------------------------------------------------------
+
+    def has_margins(self) -> bool:
+        """Whether every row carries robustness margins."""
+        return bool(self.rows) and all(
+            row.margins is not None for row in self.rows
+        )
+
+    def margin_heatmap(
+        self, title: str = "FAULT INJECTION MARGINS"
+    ) -> str:
+        """Render the margin variant of Table I.
+
+        Each cell shows the rule's certain margin bound for that test —
+        negative numbers are violation depth, positive numbers distance
+        from violation, ``inf`` a rule with nothing metric at stake,
+        ``·`` a statically pruned cell.  A trailing ``*`` marks a
+        near-miss cell.  Requires a robustness campaign
+        (:meth:`has_margins`).
+        """
+        if not self.has_margins():
+            raise ValueError(
+                "margin heatmap requires a campaign run with robustness=True"
+            )
+        width = 9
+        header = "%-28s %s" % (
+            "Injection Target Signal",
+            " ".join("%*s" % (width, "rule%d" % i) for i in range(len(RULE_IDS))),
+        )
+        lines = [title, header, "-" * len(header)]
+        for row in self.rows:
+            cells = []
+            for rule_id in RULE_IDS:
+                cells.append("%*s" % (width, _margin_cell(row.margins[rule_id])))
+            lines.append("%-28s %s" % (row.label, " ".join(cells)))
+        return "\n".join(lines)
+
+    def margins_json(self) -> Dict[str, object]:
+        """The canonical JSON document for the margin heatmap.
+
+        Deterministic by construction (rows in campaign order, per-rule
+        digests keyed by rule id, infinities string-encoded), so two
+        identical campaigns serialize byte-identically — the golden
+        fixture ``results/robustness_table1.json`` and its CI
+        regeneration check rely on that.
+        """
+        if not self.has_margins():
+            raise ValueError(
+                "margins_json requires a campaign run with robustness=True"
+            )
+        return {
+            "schema": "repro.robustness.table1/v1",
+            "rules": list(RULE_IDS),
+            "rows": [
+                {
+                    "label": row.label,
+                    "kind": row.kind,
+                    "targets": list(row.targets),
+                    "letters": row.letter_string(),
+                    "margins": {
+                        rule_id: row.margins[rule_id]
+                        for rule_id in RULE_IDS
+                    },
+                }
+                for row in self.rows
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Comparison with the published table
@@ -219,3 +294,19 @@ class Table1:
             % ", ".join(self.rules_violated_anywhere())
         )
         return "\n".join(lines)
+
+
+def _margin_cell(digest: Optional[Dict[str, object]]) -> str:
+    """One heatmap cell from a per-rule robustness digest."""
+    if digest is None:
+        return "·"
+    upper = digest["upper"]
+    if upper == "inf":
+        text = "inf"
+    elif upper == "-inf":
+        text = "-inf"
+    else:
+        text = "%+.2f" % upper
+    if digest.get("near_miss"):
+        text += "*"
+    return text

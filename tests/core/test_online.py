@@ -566,3 +566,118 @@ class TestBoundedMemoryAcceptance:
             return online.peak_buffer_rows
 
         assert peak(8000) == peak(4000)
+
+
+ROBUSTNESS_FUZZ_POOL = (
+    ("prop", dict(formula="x > 0")),
+    ("gated", dict(formula="x > -1", gate="g")),
+    ("event", dict(formula="x < 0 -> eventually[0, 120ms] y > 0")),
+    ("alw", dict(formula="always[0, 80ms] x > -3")),
+    ("nxt", dict(formula="y > 1 -> next y >= 0")),
+    ("once", dict(formula="x > 2 -> once[0, 200ms] y > 0")),
+    ("hist", dict(formula="historically[0, 60ms] x >= -4")),
+)
+
+
+class TestRobustnessOnline:
+    """Streamed margin intervals vs the offline robustness check.
+
+    The contract of :meth:`OnlineMonitor.robustness_intervals`: every
+    intermediate interval contains the offline margin interval, the
+    upper bound tightens monotonically as chunks are emitted, and at
+    :meth:`finish` the interval collapses onto the offline value — same
+    bounds, same worst row, same worst time."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_streamed_intervals_bracket_offline(self, seed):
+        rng = np.random.default_rng(31400 + seed)
+        n_rows = int(rng.integers(40, 180))
+        trace = uniform_trace(
+            {
+                "x": [float(v) for v in rng.uniform(-4.0, 4.0, n_rows)],
+                "y": [float(v) for v in rng.uniform(-2.0, 3.0, n_rows)],
+                "g": [float(v) for v in rng.integers(0, 2, n_rows)],
+            }
+        )
+        n_rules = int(rng.integers(2, len(ROBUSTNESS_FUZZ_POOL) + 1))
+        picks = rng.choice(len(ROBUSTNESS_FUZZ_POOL), size=n_rules, replace=False)
+        rules = [
+            Rule.from_text(
+                ROBUSTNESS_FUZZ_POOL[i][0], "fuzz", **ROBUSTNESS_FUZZ_POOL[i][1]
+            )
+            for i in sorted(picks)
+        ]
+        chunk = int(rng.integers(1, 41))
+
+        offline = Monitor(rules, period=PERIOD).check(trace, robustness=True)
+        online = OnlineMonitor(
+            rules, period=PERIOD, min_chunk_rows=chunk, robustness=True
+        )
+
+        previous_upper = {rule.rule_id: np.inf for rule in rules}
+        for timestamp, signal, value in trace.events():
+            online.feed(timestamp, signal, value)
+            for rule_id, (lower, upper) in online.robustness_intervals().items():
+                off = offline.results[rule_id].robustness
+                assert lower <= upper, rule_id
+                # Tightens monotonically...
+                assert upper <= previous_upper[rule_id], rule_id
+                previous_upper[rule_id] = upper
+                # ...and always brackets the offline margin interval.
+                assert lower <= off.lower, rule_id
+                assert upper >= off.upper, rule_id
+
+        report = online.finish()
+        assert_equivalent(offline, report)
+        final = online.robustness_intervals()
+        for rule_id, off_result in offline.results.items():
+            off = off_result.robustness
+            assert final[rule_id] == (off.lower, off.upper), rule_id
+            on = report.results[rule_id].robustness
+            assert on is not None, rule_id
+            assert (on.lower, on.upper) == (off.lower, off.upper), rule_id
+            assert on.worst_row == off.worst_row, rule_id
+            assert on.worst_time == off.worst_time, rule_id
+
+    def test_early_decision_when_interval_excludes_zero(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        values = [1.0] * 20 + [-2.5] * 5 + [1.0] * 75
+        trace = uniform_trace({"x": values})
+        online = OnlineMonitor(
+            [rule], period=PERIOD, min_chunk_rows=5, robustness=True
+        )
+        decided_at = None
+        for timestamp, signal, value in trace.events():
+            online.feed(timestamp, signal, value)
+            if decided_at is None and online.early_decisions():
+                decided_at = online.early_decisions()["r"]
+                _, upper = online.robustness_intervals()["r"]
+                assert upper < 0
+        online.finish()
+        # Decided mid-stream, long before the 2 s stream end.
+        assert decided_at is not None
+        assert decided_at < 1.0
+        assert online.early_decisions()["r"] == decided_at
+
+    def test_no_early_decision_for_satisfied_rule(self):
+        rule = Rule.from_text("r", "n", "x > 0")
+        trace = uniform_trace({"x": [3.0] * 60})
+        online = OnlineMonitor([rule], min_chunk_rows=5, robustness=True)
+        online.feed_trace(trace)
+        online.finish()
+        assert online.early_decisions() == {}
+
+    def test_intervals_require_robustness_mode(self):
+        online = OnlineMonitor([Rule.from_text("r", "n", "x > 0")])
+        with pytest.raises(TraceError):
+            online.robustness_intervals()
+
+    def test_zero_row_stream_finishes_unknown_interval(self):
+        online = OnlineMonitor(
+            [Rule.from_text("r", "n", "x > 0")], robustness=True
+        )
+        report = online.finish()
+        assert online.robustness_intervals()["r"] == (-np.inf, np.inf)
+        robustness = report.results["r"].robustness
+        assert robustness.worst_row is None
+        assert not robustness.decided
