@@ -58,14 +58,31 @@ from repro.analysis.intervals import (
     expr_interval,
 )
 from repro.analysis.depgraph import DependencyGraph, FlowEdge, fsracc_flow
+from repro.analysis.margins import (
+    CellMarginResult,
+    MarginEnv,
+    MarginReport,
+    RuleMarginResult,
+    analyze_margins,
+    analyze_margins_specs,
+    cell_env,
+    expr_margin,
+    formula_margin,
+    margin_env,
+    rule_margin,
+)
 from repro.analysis.schema import (
     AUDIT_SCHEMA_VERSION,
+    MARGINS_SCHEMA_VERSION,
     SCHEMA_VERSION,
     build_audit_report,
+    build_margins_report,
     build_report,
     require_valid_audit_report,
+    require_valid_margins_report,
     require_valid_report,
     validate_audit_report,
+    validate_margins_report,
     validate_report,
 )
 
@@ -76,25 +93,36 @@ __all__ = [
     "CATALOG",
     "CampaignPlan",
     "CatalogEntry",
+    "CellMarginResult",
     "DependencyGraph",
     "Diagnostic",
     "FlowEdge",
     "Interval",
     "LintContext",
+    "MARGINS_SCHEMA_VERSION",
     "MAYBE",
+    "MarginEnv",
+    "MarginReport",
     "NEVER",
+    "RuleMarginResult",
     "SCHEMA_VERSION",
     "Severity",
+    "analyze_margins",
+    "analyze_margins_specs",
     "audit_rules",
     "audit_specs",
     "build_audit_report",
     "build_context",
+    "build_margins_report",
     "build_report",
+    "cell_env",
     "compare",
     "contradicts",
     "count_by_severity",
     "database_env",
     "expr_interval",
+    "expr_margin",
+    "formula_margin",
     "formula_status",
     "fsracc_flow",
     "has_errors",
@@ -103,11 +131,15 @@ __all__ = [
     "lint_rules",
     "lint_specs",
     "make_diagnostic",
+    "margin_env",
     "negate",
     "paper_plan",
     "require_valid_audit_report",
+    "require_valid_margins_report",
     "require_valid_report",
+    "rule_margin",
     "sort_diagnostics",
     "validate_audit_report",
+    "validate_margins_report",
     "validate_report",
 ]

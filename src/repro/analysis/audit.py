@@ -19,6 +19,14 @@ per report section:
   (injection x rule) cells, unknown checker profiles, and monitor
   periods that undersample rule-referenced signals.
 
+The static margin prover (:mod:`repro.analysis.margins`) adds the
+quantitative ``AU5xx`` findings on top: provably unfalsifiable rules
+(positive static lower margin) and tight-margin hotspots in the rules
+section, statically doomed (injection x rule) cells — negative static
+upper margin under the cell's injection-widened ranges — in the plan
+section, plus the ``provably_safe_rules`` / ``margin_prunable_cells`` /
+``doomed_cells`` summary counters that feed ``table1 --prune margins``.
+
 Like the rest of the package the auditor is pure static analysis: it
 reads parsed ASTs, the database, and a :class:`CampaignPlan` — no trace
 data, no simulation.  The implication prover is *conservative*: it only
@@ -749,6 +757,100 @@ def _plan_checks(
     return findings
 
 
+def _margin_rule_checks(
+    rule_margins: Mapping[str, Interval]
+) -> List[Diagnostic]:
+    """AU501/AU503 — quantitative unfalsifiability under DBC ranges."""
+    from repro.analysis.margins import TIGHT_MARGIN
+
+    findings = []
+    for rule_id, interval in rule_margins.items():
+        if interval.lo > TIGHT_MARGIN:
+            findings.append(
+                make_diagnostic(
+                    "AU501",
+                    "rule %s" % rule_id,
+                    "static robustness margin stays at or above %g for "
+                    "every in-range trace: the rule is quantitatively "
+                    "unfalsifiable by in-specification data" % interval.lo,
+                    suggestion=(
+                        "tighten the bound by at least the reported "
+                        "margin, or rely on injections to exercise it"
+                    ),
+                )
+            )
+        elif interval.lo > 0:
+            findings.append(
+                make_diagnostic(
+                    "AU503",
+                    "rule %s" % rule_id,
+                    "static robustness lower bound %g is positive but "
+                    "within the tightness epsilon %g: unfalsifiable "
+                    "only by a sliver of margin"
+                    % (interval.lo, TIGHT_MARGIN),
+                    suggestion=(
+                        "check whether modelling slack (ranges, held "
+                        "samples, rounding) hides a falsifiable rule"
+                    ),
+                )
+            )
+    return findings
+
+
+def _margin_plan_checks(
+    plan: CampaignPlan,
+    database,
+    rules: Sequence,
+    machines: Sequence[StateMachine],
+    graph: DependencyGraph,
+    period: float,
+    summary: Dict[str, int],
+) -> List[Diagnostic]:
+    """AU502 — per-cell margin intervals under injection-widened ranges.
+
+    Also feeds the ``doomed_cells`` / ``margin_prunable_cells`` summary
+    counters.  Tests with unknown targets are skipped (AU303 already
+    flags them, and the harness could never run the cell).
+    """
+    from repro.analysis.margins import MarginEnv, cell_env, rule_margin
+
+    findings: List[Diagnostic] = []
+    env_cache: Dict[Tuple[str, ...], Optional[MarginEnv]] = {}
+    for test in plan.tests:
+        targets = tuple(test.targets)
+        if targets not in env_cache:
+            env_cache[targets] = cell_env(database, targets, graph)
+        env = env_cache[targets]
+        if env is None:
+            continue
+        doomed: List[str] = []
+        for rule in rules:
+            interval = rule_margin(
+                rule, env, period=period, machines=machines
+            )
+            if interval.hi < 0:
+                doomed.append(rule.rule_id)
+            if interval.lo > 0:
+                summary["margin_prunable_cells"] += 1
+        summary["doomed_cells"] += len(doomed)
+        if doomed:
+            findings.append(
+                make_diagnostic(
+                    "AU502",
+                    "test %s" % test.label,
+                    "static margins prove rule(s) %s violate on every "
+                    "monitored row under this test's injection-widened "
+                    "ranges: the raw cell result is predetermined by "
+                    "the spec, not the system" % ", ".join(doomed),
+                    suggestion=(
+                        "fix the rule bound, or drop the cell — it "
+                        "cannot measure injected behaviour"
+                    ),
+                )
+            )
+    return findings
+
+
 def _sampling_checks(
     graph: DependencyGraph, database, period: float
 ) -> List[Diagnostic]:
@@ -815,17 +917,39 @@ def audit_rules(
         "tests": len(plan.tests) if plan is not None else 0,
         "dead_tests": 0,
         "prunable_cells": 0,
+        "provably_safe_rules": 0,
+        "margin_prunable_cells": 0,
+        "doomed_cells": 0,
     }
+
+    from repro.analysis.margins import margin_env, rule_margin
+
+    menv = margin_env(database)
+    rule_margins = {
+        rule.rule_id: rule_margin(
+            rule, menv, period=period, machines=machines
+        )
+        for rule in rules
+    }
+    summary["provably_safe_rules"] = sum(
+        1 for interval in rule_margins.values() if interval.lo > 0
+    )
 
     rule_findings = _rule_pair_checks(rules, env)
     rule_findings.extend(_vacuity_checks(rules, env))
     rule_findings.extend(_coverage_overlap_checks(graph))
+    rule_findings.extend(_margin_rule_checks(rule_margins))
 
     coverage_findings = _coverage_checks(graph, machines)
 
     plan_findings = _sampling_checks(graph, database, period)
     if plan is not None:
         plan_findings.extend(_plan_checks(plan, database, graph, summary))
+        plan_findings.extend(
+            _margin_plan_checks(
+                plan, database, rules, machines, graph, period, summary
+            )
+        )
 
     return AuditReport(
         target=target,

@@ -25,7 +25,10 @@ owns the ``AU`` range:
 * ``AU3xx`` — injection-plan static checks (degenerate values, oversized
   flip masks, unknown targets, statically dead injections);
 * ``AU4xx`` — cross-artifact consistency (checker registry, sampling
-  rates, unexercised rules).
+  rates, unexercised rules);
+* ``AU5xx`` — quantitative margin findings from the static robustness
+  prover (:mod:`repro.analysis.margins`): provably unfalsifiable rules,
+  statically doomed campaign cells, tight-margin hotspots.
 """
 
 from __future__ import annotations
@@ -389,6 +392,40 @@ CATALOG: Dict[str, CatalogEntry] = {
             "reaches the rule in the dependency graph: the whole "
             "campaign cannot falsify it, only nominal behaviour can.",
             "a rule over AccelPedPos in a plan that never injects it",
+        ),
+        _entry(
+            "AU501",
+            Severity.WARNING,
+            "provable positive robustness margin",
+            "The static margin prover shows the rule's robustness lower "
+            "bound stays strictly positive (by more than the tightness "
+            "epsilon) for every in-range trace: the rule is quantitatively "
+            "unfalsifiable, a stronger form of AU103 that also reports "
+            "*how far* from violation the spec sits.",
+            "formula = Velocity < 500 proves margin >= 380",
+        ),
+        _entry(
+            "AU502",
+            Severity.WARNING,
+            "statically doomed campaign cell",
+            "Under a test's injection-widened signal ranges, a rule's "
+            "static robustness upper bound is strictly negative: every "
+            "monitored row of that (injection x rule) cell is provably a "
+            "raw violation before filtering, so the cell measures the "
+            "spec, not the system.",
+            "ACCSetSpeed < -5 with ACCSetSpeed in [0, 60] and no "
+            "injection reaching it",
+        ),
+        _entry(
+            "AU503",
+            Severity.INFO,
+            "tight positive margin",
+            "The static lower bound is positive but within the tightness "
+            "epsilon: the rule is unfalsifiable only by a sliver of "
+            "margin, so modelling slack (DBC ranges, held samples, "
+            "float rounding) may be hiding a falsifiable rule.",
+            "formula = Velocity < 120.5 with Velocity in [-10, 120] "
+            "(margin 0.5)",
         ),
     )
 }

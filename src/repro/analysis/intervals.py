@@ -137,6 +137,21 @@ def max_(a: Interval, b: Interval) -> Interval:
     return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
 
 
+def intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    """The overlap of two intervals, or ``None`` when they are disjoint.
+
+    ``None`` (the empty set) is deliberately not an :class:`Interval`:
+    the dataclass invariant ``lo <= hi`` means every Interval holds at
+    least one value, so emptiness must be explicit at the call site
+    rather than smuggled through as an inverted pair.
+    """
+    lo = max(a.lo, b.lo)
+    hi = min(a.hi, b.hi)
+    if lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
 def span(a: Interval) -> Interval:
     """Range of differences between two values of ``a`` (for ``delta``)."""
     if not a.bounded:

@@ -58,6 +58,9 @@ SCHEMA_VERSION = "repro.lint/v1"
 #: Identifier of the cross-artifact audit report format.
 AUDIT_SCHEMA_VERSION = "repro.audit/v1"
 
+#: Identifier of the static margin-prover report format.
+MARGINS_SCHEMA_VERSION = "repro.margins/v1"
+
 #: Section keys of an audit target, in order (one per analysis family).
 AUDIT_SECTIONS = ("rules", "coverage", "plan")
 
@@ -298,4 +301,158 @@ def require_valid_audit_report(report: object) -> Dict[str, object]:
     problems = validate_audit_report(report)
     if problems:
         raise ValueError("invalid audit report: %s" % "; ".join(problems))
+    return report  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# The margin-prover report format (repro.margins/v1)
+# ----------------------------------------------------------------------
+#
+# ``repro margins --format json`` (and ``--seeds-out``) emit one report
+# object: the single analysis target flattened into the envelope, with
+# every bound serialized through ``repro.core.robustness.float_to_json``
+# (infinities become the strings "inf" / "-inf"; NaN is illegal)::
+#
+#     {
+#       "schema": "repro.margins/v1",
+#       "name": "paper rules",
+#       "period": 0.02, "threshold": 0.0,
+#       "rules": [{"rule": "rule5", "provably_safe": false,
+#                  "lower": -12.0, "upper": "inf"}, ...],
+#       "cells": [{"test": "...", "kind": "ballista", "targets": [...],
+#                  "rule": "rule5", "prunable": false, "doomed": false,
+#                  "lower": "-inf", "upper": "inf"}, ...],
+#       "seeds": [{"rank": 1, "test": "...", "rule": "...",
+#                  "lower": "-inf", "upper": "inf"}, ...],
+#       "summary": {"rules": 7, "provably_safe_rules": 0, "cells": 224,
+#                   "prunable_cells": 0, "doomed_cells": 0, "seeds": 224}
+#     }
+
+
+def build_margins_report(report) -> Dict[str, object]:
+    """Assemble the JSON report for one :class:`~repro.analysis.margins.
+    MarginReport` (anything exposing ``to_dict()`` works)."""
+    dump = dict(report.to_dict())
+    dump["schema"] = MARGINS_SCHEMA_VERSION
+    return dump
+
+
+def _validate_bound(owner: str, dump: Dict[str, object]) -> List[str]:
+    """Check one lower/upper pair (JSON floats or "inf"/"-inf")."""
+    from repro.core.robustness import float_from_json
+
+    problems = []
+    values = {}
+    for key in ("lower", "upper"):
+        raw = dump.get(key)
+        try:
+            value = float_from_json(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            problems.append("%s %r is not a margin bound: %r" % (owner, key, raw))
+            continue
+        if value != value:
+            problems.append("%s %r is NaN" % (owner, key))
+            continue
+        values[key] = value
+    if len(values) == 2 and values["lower"] > values["upper"]:
+        problems.append("%s bounds are inverted" % owner)
+    return problems
+
+
+def validate_margins_report(report: object) -> List[str]:
+    """All the ways ``report`` fails to be a valid margins report."""
+    if not isinstance(report, dict):
+        return ["report must be a JSON object, got %s" % type(report).__name__]
+    problems: List[str] = []
+    if report.get("schema") != MARGINS_SCHEMA_VERSION:
+        problems.append(
+            "schema must be %r, got %r"
+            % (MARGINS_SCHEMA_VERSION, report.get("schema"))
+        )
+    if not isinstance(report.get("name"), str):
+        problems.append("report needs a string 'name'")
+    for key in ("period", "threshold"):
+        value = report.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append("report %r must be a number" % key)
+        elif key == "period" and value <= 0:
+            problems.append("period must be positive")
+        elif key == "threshold" and value < 0:
+            problems.append("threshold must be non-negative")
+    for key in ("rules", "cells", "seeds"):
+        if not isinstance(report.get(key), list):
+            problems.append("report needs a %r array" % key)
+    if problems:
+        return problems
+    for entry in report["rules"]:
+        if not isinstance(entry, dict):
+            problems.append("rule entries must be objects")
+            continue
+        owner = "rule %r" % entry.get("rule")
+        if not isinstance(entry.get("rule"), str):
+            problems.append("rule entries need a string 'rule'")
+        if not isinstance(entry.get("provably_safe"), bool):
+            problems.append("%s needs a boolean 'provably_safe'" % owner)
+        problems.extend(_validate_bound(owner, entry))
+    for entry in report["cells"]:
+        if not isinstance(entry, dict):
+            problems.append("cell entries must be objects")
+            continue
+        owner = "cell %r x %r" % (entry.get("test"), entry.get("rule"))
+        for key in ("test", "kind", "rule"):
+            if not isinstance(entry.get(key), str):
+                problems.append("%s needs a string %r" % (owner, key))
+        targets = entry.get("targets")
+        if not (
+            isinstance(targets, list)
+            and all(isinstance(t, str) for t in targets)
+        ):
+            problems.append("%s needs a string array 'targets'" % owner)
+        for key in ("prunable", "doomed"):
+            if not isinstance(entry.get(key), bool):
+                problems.append("%s needs a boolean %r" % (owner, key))
+        problems.extend(_validate_bound(owner, entry))
+    for expected, entry in enumerate(report["seeds"], start=1):
+        if not isinstance(entry, dict):
+            problems.append("seed entries must be objects")
+            continue
+        owner = "seed #%d" % expected
+        if entry.get("rank") != expected:
+            problems.append(
+                "%s declares rank %r (seeds must be ranked 1..n in order)"
+                % (owner, entry.get("rank"))
+            )
+        for key in ("test", "rule"):
+            if not isinstance(entry.get(key), str):
+                problems.append("%s needs a string %r" % (owner, key))
+        problems.extend(_validate_bound(owner, entry))
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("report needs a 'summary' object")
+    else:
+        for key, value in summary.items():
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(
+                    "summary %r must be a non-negative integer" % key
+                )
+        if not problems:
+            declared = {
+                "rules": len(report["rules"]),
+                "cells": len(report["cells"]),
+                "seeds": len(report["seeds"]),
+            }
+            for key, count in declared.items():
+                if summary.get(key) != count:
+                    problems.append(
+                        "summary declares %r %s but the report lists %d"
+                        % (summary.get(key), key, count)
+                    )
+    return problems
+
+
+def require_valid_margins_report(report: object) -> Dict[str, object]:
+    """Validate and return ``report``; raise ``ValueError`` otherwise."""
+    problems = validate_margins_report(report)
+    if problems:
+        raise ValueError("invalid margins report: %s" % "; ".join(problems))
     return report  # type: ignore[return-value]

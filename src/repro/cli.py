@@ -260,6 +260,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when any stream reports a violation",
     )
+    replay_cmd.add_argument(
+        "--robustness",
+        action="store_true",
+        help=(
+            "stream per-rule robustness margins: every rollup entry "
+            "gains a 'margins' block, plus a fleet-level worst-margin "
+            "aggregate"
+        ),
+    )
     replay_cmd.set_defaults(handler=_cmd_fleet_replay)
 
     lint_cmd = sub.add_parser(
@@ -343,6 +352,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     audit_cmd.set_defaults(handler=_cmd_audit)
 
+    margins_cmd = sub.add_parser(
+        "margins",
+        help=(
+            "static robustness-margin prover: per-rule [lower, upper] "
+            "bounds, per-cell pruning verdicts, and a ranked "
+            "falsification seed list"
+        ),
+    )
+    margins_cmd.add_argument(
+        "files",
+        nargs="*",
+        help=(
+            ".rules files to analyze; with no files the bundled paper "
+            "rules are analyzed against the full Table I plan"
+        ),
+    )
+    margins_cmd.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="analyze the relaxed paper-rule variants (no effect with files)",
+    )
+    margins_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text; json is repro.margins/v1)",
+    )
+    margins_cmd.add_argument(
+        "--out", default=None, help="also write the report here"
+    )
+    margins_cmd.add_argument(
+        "--seeds-out",
+        default=None,
+        help=(
+            "write the ranked falsification seed list (the non-prunable "
+            "cells, lowest static lower bound first) to this JSON file"
+        ),
+    )
+    margins_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help=(
+            "pruning bar: cells whose static lower bound exceeds this "
+            "are reported prunable (must be >= 0; default 0)"
+        ),
+    )
+    margins_cmd.add_argument(
+        "--period",
+        type=float,
+        default=None,
+        help="monitor sampling period in seconds (default: plan period)",
+    )
+    margins_cmd.set_defaults(handler=_cmd_margins)
+
     repro_cmd = sub.add_parser(
         "reproduce",
         help="regenerate the paper's core results and judge the reproduction",
@@ -413,12 +477,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     table_cmd.add_argument(
         "--prune",
-        choices=("audit",),
+        choices=("audit", "margins"),
         default=None,
         help=(
-            "skip (injection x rule) cells the audit dependency graph "
-            "proves statically dead; the letter matrix is identical to "
-            "a full run for nominal-clean rule sets"
+            "skip (injection x rule) cells static analysis certifies: "
+            "'audit' skips cells the dependency graph proves dead "
+            "(letter-identical for nominal-clean rule sets); 'margins' "
+            "skips cells the margin prover bounds strictly positive "
+            "(letter-identical unconditionally)"
+        ),
+    )
+    table_cmd.add_argument(
+        "--prune-threshold",
+        type=float,
+        default=0.0,
+        help=(
+            "margin bar for --prune margins: only cells whose static "
+            "lower bound exceeds this are skipped (must be >= 0; "
+            "default 0)"
         ),
     )
     table_cmd.add_argument(
@@ -607,6 +683,7 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
         inbox_events=args.inbox,
         policy=args.policy,
         status_port=args.status_port,
+        robustness=args.robustness,
     )
     rollup = require_valid_fleet_snapshot(report.rollup)
     if args.rollup_out:
@@ -707,6 +784,68 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failed and args.strict else 0
 
 
+def _cmd_margins(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        analyze_margins_specs,
+        build_margins_report,
+        paper_plan,
+    )
+
+    if args.threshold < 0:
+        print("margins: --threshold must be non-negative", file=sys.stderr)
+        return 2
+
+    plan = paper_plan()
+    if args.files:
+        targets = [
+            (path, _load_specset(path, relaxed=False)) for path in args.files
+        ]
+    else:
+        variant = "relaxed" if args.relaxed else "strict"
+        targets = [("paper rules (%s)" % variant, paper_specset(args.relaxed))]
+
+    reports = [
+        analyze_margins_specs(
+            specs,
+            plan=plan,
+            period=args.period,
+            threshold=args.threshold,
+            target=name,
+        )
+        for name, specs in targets
+    ]
+
+    if args.format == "json":
+        dumps = [build_margins_report(report) for report in reports]
+        text = json.dumps(
+            dumps[0] if len(dumps) == 1 else dumps, indent=2, sort_keys=True
+        )
+    else:
+        text = "\n\n".join(report.format_text() for report in reports)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        _progress("report written to %s" % args.out)
+
+    if args.seeds_out:
+        # Ranked work list for falsification: one entry per live cell,
+        # most promising (lowest static lower bound) first.  With a
+        # single target the file is the seeds array itself.
+        seed_dumps = [
+            {"target": dump["name"], "seeds": dump["seeds"]}
+            for dump in (build_margins_report(report) for report in reports)
+        ]
+        payload = (
+            seed_dumps[0]["seeds"] if len(seed_dumps) == 1 else seed_dumps
+        )
+        with open(args.seeds_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _progress("falsification seeds written to %s" % args.seeds_out)
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.testing.reproducer import reproduce
 
@@ -736,6 +875,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         gap_time=args.gap,
         settle_time=args.settle,
         prune=args.prune,
+        margin_threshold=args.prune_threshold,
         robustness=args.robustness or args.margins_out is not None,
         near_miss_threshold=args.near_miss_threshold,
     )

@@ -70,6 +70,7 @@ async def replay_traces_async(
     inbox_events: int = 1024,
     policy: str = "block",
     status_port: Optional[int] = None,
+    robustness: bool = False,
 ) -> FleetReport:
     """Replay ``traces`` across ``streams`` monitor streams.
 
@@ -85,6 +86,7 @@ async def replay_traces_async(
         memo=memo,
         inbox_events=inbox_events,
         policy=policy,
+        robustness=robustness,
     )
     status = None
     if status_port is not None:

@@ -11,6 +11,7 @@ wraps them in the ``repro.fleet/v1`` document described in
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Optional
 
 from repro.fleet.schema import FLEET_SCHEMA_VERSION
@@ -21,6 +22,33 @@ from repro.obs import MetricsRegistry
 def _merged_counter(registry: MetricsRegistry, name: str) -> int:
     counter = registry.counters.get(name)
     return counter.value if counter is not None else 0
+
+
+def _fleet_margins(
+    shards: Iterable[StreamShard],
+) -> Optional[Dict[str, Dict[str, object]]]:
+    """Fleet-wide per-rule worst margin: the pointwise minimum of every
+    robustness-enabled shard's interval (order-independent).  ``None``
+    when no shard streams margins."""
+    from repro.core.robustness import float_to_json
+
+    worst: Dict[str, Dict[str, float]] = {}
+    for shard in shards:
+        for rule_id, (lower, upper) in shard.monitor.robustness_intervals().items():
+            entry = worst.setdefault(
+                rule_id, {"lower": math.inf, "upper": math.inf}
+            )
+            entry["lower"] = min(entry["lower"], lower)
+            entry["upper"] = min(entry["upper"], upper)
+    if not worst:
+        return None
+    return {
+        rule_id: {
+            "lower": float_to_json(entry["lower"]),
+            "upper": float_to_json(entry["upper"]),
+        }
+        for rule_id, entry in sorted(worst.items())
+    }
 
 
 def fleet_rollup(
@@ -36,6 +64,7 @@ def fleet_rollup(
     streams: Dict[str, object] = {}
     merged = MetricsRegistry()
     events = violations = late = peak = 0
+    margin_shards = []
     for shard in shards:
         entry = shard.snapshot()
         streams[shard.stream_id] = entry
@@ -44,6 +73,8 @@ def fleet_rollup(
         violations += entry["violations"]
         late += entry["late_events"]
         peak = max(peak, entry["peak_buffer_rows"])
+        if entry["margins"] is not None:
+            margin_shards.append(shard)
     if service_registry is not None:
         merged.merge_snapshot(service_registry.snapshot())
     return {
@@ -56,6 +87,7 @@ def fleet_rollup(
             "violations": violations,
             "late_events": late,
             "peak_buffer_rows": peak,
+            "margins": _fleet_margins(margin_shards),
             "backpressure": {
                 "dropped": _merged_counter(merged, "fleet.backpressure_dropped"),
                 "blocked": _merged_counter(merged, "fleet.backpressure_blocked"),

@@ -18,6 +18,8 @@ A rollup is one JSON object::
           "decision_latency": <number>,   # worst-case verdict delay, seconds
           "finished": <bool>,
           "letters": {"<rule id>": "S"|"V", ...} | null,   # null while live
+          "margins": {"<rule id>": {"lower": <json float>,
+                                    "upper": <json float>}, ...} | null,
           "metrics": <repro.obs/v1 snapshot>
         }, ...
       },
@@ -28,10 +30,17 @@ A rollup is one JSON object::
         "violations": <int>,
         "late_events": <int>,
         "peak_buffer_rows": <int>,        # max over streams
+        "margins": {...} | null,          # per-rule pointwise min over streams
         "backpressure": {"dropped": <int>, "blocked": <int>},
         "metrics": <repro.obs/v1 snapshot> # all shards + service, merged
       }
     }
+
+Per-stream ``margins`` is null unless the shard runs with
+``robustness=True``; bounds are JSON-safe floats (``"-inf"``/``"inf"``
+strings for the infinities, per ``repro.core.robustness.float_to_json``)
+with ``lower <= upper``.  The fleet-level block is the per-rule
+pointwise minimum over reporting streams — the fleet's worst margin.
 
 Per-stream ``metrics`` are full ``repro.obs/v1`` snapshots (validated by
 :func:`repro.obs.validate_snapshot`); the fleet-level ``metrics`` object
@@ -109,6 +118,7 @@ def validate_fleet_snapshot(snapshot: object) -> List[str]:
             "fleet 'streams' is %d but %d stream entries are present"
             % (fleet["streams"], len(streams))
         )
+    problems.extend(_validate_margins("fleet", fleet.get("margins")))
     backpressure = fleet.get("backpressure")
     if not isinstance(backpressure, dict):
         problems.append("fleet needs a 'backpressure' object")
@@ -123,6 +133,35 @@ def validate_fleet_snapshot(snapshot: object) -> List[str]:
         "fleet metrics: %s" % problem
         for problem in validate_snapshot(fleet.get("metrics"))
     )
+    return problems
+
+
+def _validate_margins(where: str, margins: object) -> List[str]:
+    """``margins`` blocks are null or per-rule {lower, upper} bounds."""
+    from repro.core.robustness import float_from_json
+
+    if margins is None:
+        return []
+    if not isinstance(margins, dict):
+        return ["%s 'margins' must be null or an object" % where]
+    problems: List[str] = []
+    for rule_id, bounds in margins.items():
+        owner = "%s margins %r" % (where, rule_id)
+        if not isinstance(rule_id, str) or not isinstance(bounds, dict):
+            problems.append("%s must map rule ids to bound objects" % owner)
+            continue
+        try:
+            lower = float_from_json(bounds.get("lower"))
+            upper = float_from_json(bounds.get("upper"))
+        except ValueError as error:
+            problems.append("%s: %s" % (owner, error))
+            continue
+        if lower is None or upper is None:
+            problems.append("%s needs 'lower' and 'upper' bounds" % owner)
+        elif lower > upper:
+            problems.append(
+                "%s bounds are inverted: [%r, %r]" % (owner, lower, upper)
+            )
     return problems
 
 
@@ -155,6 +194,7 @@ def _validate_stream(stream_id: str, entry: object) -> List[str]:
             problems.append(
                 "%s 'letters' must be null or an object of 'S'/'V'" % where
             )
+    problems.extend(_validate_margins(where, entry.get("margins")))
     problems.extend(
         "%s metrics: %s" % (where, problem)
         for problem in validate_snapshot(entry.get("metrics"))

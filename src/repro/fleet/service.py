@@ -125,6 +125,7 @@ class FleetService:
         inbox_events: int = 1024,
         policy: str = "block",
         batch_events: int = 256,
+        robustness: bool = False,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -142,6 +143,9 @@ class FleetService:
         self.inbox_events = inbox_events
         self.policy = policy
         self.batch_events = max(1, batch_events)
+        #: Also stream per-rule robustness margins (each shard's rollup
+        #: entry gains a ``margins`` block — see ``StreamShard.margins``).
+        self.robustness = robustness
         #: Service-level instruments (submissions, backpressure, batches).
         self.registry = MetricsRegistry()
         self._shards: Dict[str, StreamShard] = {}
@@ -171,6 +175,7 @@ class FleetService:
                 min_chunk_rows=self.min_chunk_rows,
                 retention=self.retention,
                 memo=self.memo,
+                robustness=self.robustness,
             )
             self.registry.counter("fleet.streams_opened").inc()
         return shard

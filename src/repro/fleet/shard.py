@@ -36,9 +36,11 @@ class StreamShard:
         min_chunk_rows: int = 50,
         retention: float = 1.0,
         memo: bool = True,
+        robustness: bool = False,
     ) -> None:
         self.stream_id = stream_id
         self.registry = MetricsRegistry()
+        self.robustness = robustness
         self.monitor = OnlineMonitor(
             rules,
             machines=machines,
@@ -46,6 +48,7 @@ class StreamShard:
             min_chunk_rows=min_chunk_rows,
             retention=retention,
             memo=memo,
+            robustness=robustness,
         )
         self.events = 0
         self.live_violations: List[Violation] = []
@@ -81,6 +84,28 @@ class StreamShard:
         counter = self.registry.counters.get(name)
         return counter.value if counter is not None else 0
 
+    def margins(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Per-rule JSON-safe margin bounds, or ``None`` when the shard
+        monitors boolean-only (``robustness=False``).
+
+        Mid-stream the lower bound is ``-inf`` (future rows can be
+        arbitrarily violating); after :meth:`finish` the interval equals
+        the offline check's rule-level margin.
+        """
+        if not self.robustness:
+            return None
+        from repro.core.robustness import float_to_json
+
+        return {
+            rule_id: {
+                "lower": float_to_json(lower),
+                "upper": float_to_json(upper),
+            }
+            for rule_id, (lower, upper) in sorted(
+                self.monitor.robustness_intervals().items()
+            )
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """This stream's entry in the ``repro.fleet/v1`` rollup."""
         if self.report is not None:
@@ -102,5 +127,6 @@ class StreamShard:
             "decision_latency": self.monitor.decision_latency,
             "finished": self.report is not None,
             "letters": letters,
+            "margins": self.margins(),
             "metrics": self.registry.snapshot(),
         }

@@ -70,12 +70,12 @@ class InjectionTest:
 class TestOutcome:
     """Result of running one injection test.
 
-    ``report`` is ``None`` when audit pruning skipped the whole test
-    (every rule statically dead for its targets — see ``prune``).
+    ``report`` is ``None`` when static pruning skipped the whole test
+    (every cell statically dead or margin-certified — see ``prune``).
     ``margins`` is ``None`` unless the campaign ran with
     ``robustness=True``; then it maps each rule id to its JSON-safe
     robustness digest (plus a ``near_miss`` flag), or to ``None`` for
-    cells audit pruning skipped without monitoring.
+    cells static pruning skipped without monitoring.
     """
 
     test: InjectionTest
@@ -159,6 +159,16 @@ class RobustnessCampaign:
     letter matrix is identical to a full run for any nominal-clean rule
     set (see :meth:`dead_rule_ids`); the ``campaign.pruned_cells`` /
     ``campaign.pruned_tests`` counters record what was skipped.
+
+    ``prune="margins"`` enables quantitative static pruning: cells whose
+    static robustness lower bound (``repro.analysis.margins``, computed
+    in the test's injection-widened environment) exceeds
+    ``margin_threshold`` are provably satisfied on *every* monitored row
+    of *any* conforming trace, so they are reported ``"S"`` without
+    monitoring — letter-identical to a full run unconditionally, not
+    just for nominal-clean rule sets.  Tests whose every cell is pruned
+    skip their simulation entirely (and, like audit-pruned tests, report
+    zero collisions/rejections).
     """
 
     def __init__(
@@ -171,12 +181,19 @@ class RobustnessCampaign:
         settle_time: float = SETTLE_TIME,
         keep_traces: bool = False,
         prune: Optional[str] = None,
+        margin_threshold: float = 0.0,
         robustness: bool = False,
         near_miss_threshold: Optional[float] = None,
     ) -> None:
-        if prune not in (None, "audit"):
+        if prune not in (None, "audit", "margins"):
             raise ValueError(
-                "unknown prune mode %r; expected None or 'audit'" % (prune,)
+                "unknown prune mode %r; expected None, 'audit', or "
+                "'margins'" % (prune,)
+            )
+        if margin_threshold < 0:
+            raise ValueError(
+                "margin_threshold must be non-negative, got %r"
+                % (margin_threshold,)
             )
         if near_miss_threshold is not None:
             if near_miss_threshold < 0:
@@ -199,7 +216,11 @@ class RobustnessCampaign:
         self.settle_time = settle_time
         self.keep_traces = keep_traces
         self.prune = prune
+        self.margin_threshold = margin_threshold
         self._graph = None
+        self._margin_safe: Optional[Dict[Tuple[str, ...], Tuple[str, ...]]] = (
+            None
+        )
         # Validate the rule set eagerly (duplicate ids, undefined
         # machines) so misconfiguration fails here, not inside a worker.
         self.make_monitor()
@@ -209,6 +230,7 @@ class RobustnessCampaign:
         # lazily from the pickled configuration.
         state = dict(self.__dict__)
         state["_graph"] = None
+        state["_margin_safe"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -247,6 +269,41 @@ class RobustnessCampaign:
             return ()
         return self._dependency_graph().dead_rules(test.targets)
 
+    def margin_safe_rule_ids(self, test: InjectionTest) -> Tuple[str, ...]:
+        """Rule ids the margin prover certifies for ``test``'s cells.
+
+        Empty unless ``prune="margins"``.  A rule is certified when its
+        static robustness lower bound — computed over the test's
+        injection-widened signal ranges (:func:`cell_env`) — exceeds
+        ``margin_threshold``: every monitored row of any conforming
+        trace is then strictly satisfied, so the cell's letter is
+        ``"S"`` regardless of intent filters (which only dismiss
+        violations).  Unknown targets disable pruning for the test, as
+        with :meth:`dead_rule_ids`.  Results are cached per targets
+        tuple (never pickled — see ``__getstate__``).
+        """
+        if self.prune != "margins":
+            return ()
+        if self._margin_safe is None:
+            self._margin_safe = {}
+        key = tuple(test.targets)
+        cached = self._margin_safe.get(key)
+        if cached is not None:
+            return cached
+        from repro.analysis.margins import cell_env, rule_margin
+
+        env = cell_env(_plan_database(), key, self._dependency_graph())
+        if env is None:
+            safe: Tuple[str, ...] = ()
+        else:
+            safe = tuple(
+                rule.rule_id
+                for rule in self.rules
+                if rule_margin(rule, env).lo > self.margin_threshold
+            )
+        self._margin_safe[key] = safe
+        return safe
+
     def injection_count(self, test: InjectionTest) -> int:
         """How many injections ``test``'s plan holds (no RNG consumed)."""
         kind = test.kind
@@ -281,6 +338,7 @@ class RobustnessCampaign:
         registry = get_registry()
         registry.counter("campaign.tests").inc()
         dead = set(self.dead_rule_ids(test))
+        dead.update(self.margin_safe_rule_ids(test))
         if dead and len(dead) == len(self.rules):
             # Every cell of the row is statically dead: no injected
             # signal reaches any rule, so the trace is nominal by

@@ -39,6 +39,11 @@ def fixture_rules():
         Rule.from_text("rE", "e", "Velocity < 500"),
         Rule.from_text("rF", "f", "ACCSetSpeed < 30"),
         Rule.from_text("rG", "g", "in_state(acc, engaged) -> Velocity >= 0"),
+        # rH is statically doomed (AU502): ACCSetSpeed is exogenous, so
+        # no injection widens it past [0, 60] and the margin upper bound
+        # stays at -5.  rI is a tight proof (AU503): margin >= 0.5 only.
+        Rule.from_text("rH", "h", "ACCSetSpeed < -5"),
+        Rule.from_text("rI", "i", "Velocity < 120.5"),
     ]
 
 
@@ -182,13 +187,32 @@ class TestFixtureAudit:
         assert report.failed
 
     def test_sections_route_by_family(self, report):
-        families = {"rules": "AU1", "coverage": "AU2"}
-        for section, prefix in families.items():
-            codes = {d.code for d in report.sections[section]}
-            assert codes
-            assert all(code.startswith(prefix) for code in codes)
+        # Margin findings (AU5xx) split by scope: rule-level AU501/AU503
+        # join the rules section, per-cell AU502 joins the plan section.
+        rules_codes = {d.code for d in report.sections["rules"]}
+        assert rules_codes
+        assert all(code[:3] in ("AU1", "AU5") for code in rules_codes)
+        coverage_codes = {d.code for d in report.sections["coverage"]}
+        assert coverage_codes
+        assert all(code.startswith("AU2") for code in coverage_codes)
         plan_codes = {d.code for d in report.sections["plan"]}
-        assert all(code[:3] in ("AU3", "AU4") for code in plan_codes)
+        assert all(code[:3] in ("AU3", "AU4", "AU5") for code in plan_codes)
+
+    def test_margin_findings(self, report):
+        by_code = {}
+        for diagnostic in report.diagnostics():
+            by_code.setdefault(diagnostic.code, []).append(diagnostic)
+        # rE (Velocity < 500) is comfortably unfalsifiable; rI is the
+        # tight one (margin 0.5 <= epsilon), never both codes at once.
+        assert [d.subject for d in by_code["AU501"]] == ["rule rE"]
+        assert [d.subject for d in by_code["AU503"]] == ["rule rI"]
+        # rH is doomed in every cell of every known-target test (the
+        # unknown-target "Random Bogus" row is skipped).
+        doomed = by_code["AU502"]
+        assert len(doomed) == 3
+        assert all("rH" in d.message for d in doomed)
+        assert report.summary["doomed_cells"] == 3
+        assert report.summary["provably_safe_rules"] == 2
 
     def test_golden_text(self, report):
         golden = (GOLDEN_DIR / "golden_audit_fixture.txt").read_text()

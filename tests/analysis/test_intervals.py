@@ -10,6 +10,9 @@ from repro.analysis.intervals import (
     abs_,
     add,
     div,
+    intersect,
+    max_,
+    min_,
     mul,
     neg,
     negate_status,
@@ -47,6 +50,170 @@ class TestInterval:
 
     def test_mul_zero_times_infinity(self):
         assert mul(point(0.0), TOP) == point(0.0)
+
+
+class TestDivisionEdgeCases:
+    def test_divisor_touching_zero_at_either_endpoint_is_top(self):
+        # contains(0) is inclusive: [0, 2] and [-2, 0] both admit a
+        # zero divisor, so the quotient must widen to the full line.
+        assert div(Interval(1, 2), Interval(0, 2)) == TOP
+        assert div(Interval(1, 2), Interval(-2, 0)) == TOP
+        assert div(Interval(1, 2), point(0.0)) == TOP
+
+    def test_negative_divisor_flips_the_interval(self):
+        assert div(Interval(4, 8), Interval(-4, -2)) == Interval(-4, -1)
+
+    def test_infinite_dividend_over_finite_divisor(self):
+        assert div(Interval(0, math.inf), Interval(2, 4)) == Interval(
+            0, math.inf
+        )
+
+    def test_inf_over_inf_is_top_not_nan(self):
+        # IEEE inf/inf is NaN; the lattice must catch it before the
+        # Interval constructor would reject the NaN endpoint.
+        assert div(Interval(1, math.inf), Interval(2, math.inf)) == TOP
+        assert div(TOP, Interval(2, math.inf)) == TOP
+
+    def test_zero_dividend_endpoint_never_produces_nan(self):
+        # 0/inf would be fine, but the explicit 0-guard also covers
+        # the 0 * sign bookkeeping; the result stays exact.
+        assert div(point(0.0), Interval(2, math.inf)) == point(0.0)
+
+
+class TestInfiniteEndpoints:
+    def test_intervals_admit_infinite_endpoints(self):
+        assert Interval(math.inf, math.inf).is_point
+        assert not Interval(-math.inf, 0).bounded
+
+    def test_opposed_infinities_in_add_are_rejected_not_silent(self):
+        # inf + -inf is NaN; the constructor's no-NaN invariant turns
+        # the unsound endpoint into a loud error.  Callers that need
+        # totality widen first (see repro.analysis.margins._add_wide).
+        with pytest.raises(ValueError):
+            add(point(math.inf), point(-math.inf))
+        with pytest.raises(ValueError):
+            sub(point(math.inf), point(math.inf))
+
+    def test_same_signed_infinities_compose(self):
+        assert add(Interval(0, math.inf), Interval(1, 2)) == Interval(
+            1, math.inf
+        )
+        assert neg(Interval(-math.inf, 3)) == Interval(-3, math.inf)
+
+    def test_unbounded_times_zero_spanning(self):
+        assert mul(Interval(0, math.inf), Interval(-1, 1)) == TOP
+
+    def test_min_max_with_unbounded_sides(self):
+        assert min_(Interval(-math.inf, 0), Interval(1, 2)) == Interval(
+            -math.inf, 0
+        )
+        assert max_(Interval(-math.inf, 0), Interval(1, 2)) == Interval(
+            1, 2
+        )
+
+    def test_abs_of_unbounded(self):
+        assert abs_(TOP) == Interval(0, math.inf)
+        assert abs_(Interval(-math.inf, -1)) == Interval(1, math.inf)
+
+
+class TestIntersect:
+    def test_overlap(self):
+        assert intersect(Interval(0, 5), Interval(3, 9)) == Interval(3, 5)
+
+    def test_nested(self):
+        assert intersect(TOP, Interval(1, 2)) == Interval(1, 2)
+
+    def test_touching_endpoints_give_a_point(self):
+        assert intersect(Interval(0, 5), Interval(5, 9)) == point(5.0)
+
+    def test_disjoint_is_none_not_inverted(self):
+        assert intersect(Interval(0, 1), Interval(2, 3)) is None
+        assert intersect(Interval(2, 3), Interval(0, 1)) is None
+
+    def test_commutative(self):
+        a, b = Interval(-2, 4), Interval(1, 9)
+        assert intersect(a, b) == intersect(b, a)
+
+
+class TestConcreteContainment:
+    """Abstract ops cross-checked against concrete float evaluation."""
+
+    INTERVALS = (
+        point(0.0),
+        Interval(-3.5, -1.0),
+        Interval(-1.0, 2.0),
+        Interval(0.0, 4.0),
+        Interval(2.5, 7.0),
+        Interval(-math.inf, -2.0),
+        Interval(3.0, math.inf),
+        TOP,
+    )
+
+    def samples(self, interval, rng, count=7):
+        lo = max(interval.lo, -1e6)
+        hi = min(interval.hi, 1e6)
+        values = [lo, hi]
+        values.extend(lo + (hi - lo) * rng.random() for _ in range(count))
+        if interval.contains(0.0):
+            values.append(0.0)
+        return values
+
+    def test_binary_ops_contain_all_concrete_results(self):
+        import random
+
+        operations = {
+            add: lambda x, y: x + y,
+            sub: lambda x, y: x - y,
+            mul: lambda x, y: x * y,
+            div: lambda x, y: x / y,
+            min_: min,
+            max_: max,
+        }
+        rng = random.Random(20140623)
+        for a in self.INTERVALS:
+            for b in self.INTERVALS:
+                for abstract, concrete in operations.items():
+                    try:
+                        result = abstract(a, b)
+                    except ValueError:
+                        # Opposed infinities (see TestInfiniteEndpoints):
+                        # loud rejection is the documented behavior.
+                        continue
+                    for x in self.samples(a, rng):
+                        for y in self.samples(b, rng):
+                            if concrete is operations[div] and y == 0.0:
+                                continue
+                            value = concrete(x, y)
+                            if math.isnan(value):
+                                continue
+                            assert result.contains(value), (
+                                "%s(%s, %s): %r not in %s"
+                                % (abstract.__name__, a, b, value, result)
+                            )
+
+    def test_unary_ops_contain_all_concrete_results(self):
+        import random
+
+        rng = random.Random(8)
+        for a in self.INTERVALS:
+            for x in self.samples(a, rng):
+                assert neg(a).contains(-x)
+                assert abs_(a).contains(abs(x))
+                assert span(a).contains(x - a.lo if a.bounded else 0.0)
+
+    def test_intersection_agrees_with_membership(self):
+        import random
+
+        rng = random.Random(99)
+        for a in self.INTERVALS:
+            for b in self.INTERVALS:
+                overlap = intersect(a, b)
+                for x in self.samples(a, rng) + self.samples(b, rng):
+                    both = a.contains(x) and b.contains(x)
+                    if overlap is None:
+                        assert not both
+                    else:
+                        assert both == overlap.contains(x)
 
 
 class TestExprInterval:

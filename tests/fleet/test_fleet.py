@@ -69,6 +69,99 @@ class TestStreamShard:
         assert entry["letters"] is None
 
 
+class TestShardMargins:
+    def test_margins_null_without_robustness(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        shard.feed(0.0, "x", 1.0)
+        assert shard.snapshot()["margins"] is None
+
+    def test_live_margins_have_open_lower_bound(self):
+        shard = StreamShard(
+            "v1", simple_rules(), min_chunk_rows=10, robustness=True
+        )
+        for i in range(100):
+            shard.feed(i * PERIOD, "x", 1.0)
+        margins = shard.snapshot()["margins"]
+        assert set(margins) == {"pos", "alw"}
+        # Future rows could be arbitrarily violating: -inf until finish.
+        assert margins["pos"]["lower"] == "-inf"
+
+    def test_finished_margins_equal_the_offline_check(self):
+        from repro.core.monitor import Monitor
+        from repro.core.robustness import float_from_json
+
+        trace = sawtooth_trace()
+        shard = StreamShard(
+            "v1", simple_rules(), min_chunk_rows=10, robustness=True
+        )
+        for timestamp, signal, value in trace.events():
+            shard.feed(timestamp, signal, value)
+        shard.finish()
+        margins = shard.snapshot()["margins"]
+        offline = Monitor(simple_rules(), period=PERIOD).check(
+            trace, robustness=True
+        )
+        for rule_id, bounds in margins.items():
+            robustness = offline.result(rule_id).robustness
+            assert float_from_json(bounds["lower"]) == robustness.lower
+            assert float_from_json(bounds["upper"]) == robustness.upper
+
+    def test_rollup_aggregates_the_fleet_worst_margin(self):
+        from repro.core.robustness import float_from_json
+
+        # Stream "far" stays at x=3 (margin 3), "near" at x=1 (margin 1):
+        # the fleet-level block is the pointwise minimum — the near one.
+        far = StreamShard(
+            "far", simple_rules(), min_chunk_rows=10, robustness=True
+        )
+        near = StreamShard(
+            "near", simple_rules(), min_chunk_rows=10, robustness=True
+        )
+        for i in range(200):
+            far.feed(i * PERIOD, "x", 3.0)
+            near.feed(i * PERIOD, "x", 1.0)
+        far.finish()
+        near.finish()
+        rollup = require_valid_fleet_snapshot(fleet_rollup([far, near]))
+        fleet_margins = rollup["fleet"]["margins"]
+        near_margins = rollup["streams"]["near"]["margins"]
+        assert fleet_margins["pos"] == near_margins["pos"]
+        assert float_from_json(fleet_margins["pos"]["upper"]) == 1.0
+
+    def test_mixed_fleet_aggregates_only_reporting_streams(self):
+        plain = StreamShard("plain", simple_rules(), min_chunk_rows=10)
+        rob = StreamShard(
+            "rob", simple_rules(), min_chunk_rows=10, robustness=True
+        )
+        for i in range(100):
+            plain.feed(i * PERIOD, "x", 1.0)
+            rob.feed(i * PERIOD, "x", 1.0)
+        rollup = require_valid_fleet_snapshot(fleet_rollup([plain, rob]))
+        assert rollup["streams"]["plain"]["margins"] is None
+        assert set(rollup["fleet"]["margins"]) == {"pos", "alw"}
+
+    def test_boolean_only_fleet_has_null_aggregate(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        shard.feed(0.0, "x", 1.0)
+        rollup = require_valid_fleet_snapshot(fleet_rollup([shard]))
+        assert rollup["fleet"]["margins"] is None
+
+    def test_validator_rejects_inverted_bounds(self):
+        shard = StreamShard(
+            "v1", simple_rules(), min_chunk_rows=10, robustness=True
+        )
+        shard.feed(0.0, "x", 1.0)
+        rollup = fleet_rollup([shard])
+        rollup["streams"]["v1"]["margins"]["pos"] = {
+            "lower": 2.0,
+            "upper": 1.0,
+        }
+        assert any(
+            "inverted" in problem
+            for problem in validate_fleet_snapshot(rollup)
+        )
+
+
 class TestFleetService:
     def _run(self, coro):
         return asyncio.run(coro)

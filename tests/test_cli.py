@@ -393,6 +393,66 @@ class TestTable1Prune:
         capsys.readouterr()
         assert pruned.read_bytes() == plain.read_bytes()
 
+    def test_margin_pruned_paper_table_is_byte_identical(
+        self, tmp_path, capsys
+    ):
+        # Every paper rule's static lower bound is <= 0, so
+        # --prune margins is a proven no-op on Table I — same bytes.
+        plain, pruned = tmp_path / "plain.txt", tmp_path / "pruned.txt"
+        argv = ["table1", "--seed", "11", "--limit", "2"] + FAST_TABLE1
+        assert main(argv + ["--out", str(plain)]) == 0
+        assert main(argv + ["--prune", "margins", "--out", str(pruned)]) == 0
+        capsys.readouterr()
+        assert pruned.read_bytes() == plain.read_bytes()
+
+
+class TestMarginsCommand:
+    def test_paper_rules_text_report(self, capsys):
+        assert main(["margins"]) == 0
+        out = capsys.readouterr().out
+        assert "margins paper rules (strict)" in out
+        assert "rule margins (nominal DBC ranges):" in out
+        assert "top falsification seeds:" in out
+        assert "summary: 7 rule(s) (0 provably safe)" in out
+
+    def test_json_report_is_schema_valid(self, capsys):
+        from repro.analysis import require_valid_margins_report
+
+        assert main(["margins", "--format", "json"]) == 0
+        report = require_valid_margins_report(
+            json.loads(capsys.readouterr().out)
+        )
+        assert report["schema"] == "repro.margins/v1"
+        # No paper cell is prunable: every cell seeds falsification.
+        assert report["summary"]["prunable_cells"] == 0
+        assert report["summary"]["seeds"] == report["summary"]["cells"]
+
+    def test_seeds_out_is_deterministic_and_ranked(self, tmp_path, capsys):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["margins", "--seeds-out", str(first)]) == 0
+        assert main(["margins", "--seeds-out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        seeds = json.loads(first.read_text())
+        assert [entry["rank"] for entry in seeds] == list(
+            range(1, len(seeds) + 1)
+        )
+        assert {"rank", "test", "rule", "lower", "upper"} <= set(seeds[0])
+
+    def test_threshold_must_be_non_negative(self, capsys):
+        assert main(["margins", "--threshold", "-1"]) == 2
+        capsys.readouterr()
+
+    def test_margins_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "one.rules"
+        path.write_text(
+            "[rule safe]\nformula = Velocity < 500\n", encoding="utf-8"
+        )
+        assert main(["margins", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+        assert "provably safe" in out
+
 
 class TestFleetCommand:
     def _write_logs(self, tmp_path, capsys):

@@ -69,6 +69,78 @@ class TestWallClock:
         )
 
 
+class TestAsyncBlocking:
+    def test_time_sleep_flagged_in_fleet_async(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "fleet/service.py",
+            "import time\nasync def run():\n    time.sleep(1)\n",
+        )
+        assert [f.code for f in findings] == ["RL003"]
+        assert findings[0].line == 3
+
+    def test_sync_socket_use_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "fleet/service.py",
+            "import socket\n"
+            "async def dial():\n"
+            "    sock = socket.create_connection(('h', 1))\n",
+        )
+        assert [f.code for f in findings] == ["RL003"]
+
+    def test_sync_http_use_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "fleet/push.py",
+            "import http.client\n"
+            "import urllib.request\n"
+            "async def push():\n"
+            "    conn = http.client.HTTPConnection('h')\n"
+            "    urllib.request.urlopen('http://h')\n",
+        )
+        assert [f.code for f in findings] == ["RL003", "RL003"]
+        assert [f.line for f in findings] == [4, 5]
+
+    def test_asyncio_sleep_allowed(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "fleet/service.py",
+            "import asyncio\nasync def run():\n    await asyncio.sleep(1)\n",
+        )
+
+    def test_sleep_in_sync_function_allowed(self, tmp_path):
+        # Blocking in plain functions is fine (executors call them
+        # off-loop), even in a module that also has async defs.
+        assert not lint_source(
+            tmp_path,
+            "fleet/service.py",
+            "import time\n"
+            "async def run():\n"
+            "    pass\n"
+            "def worker():\n"
+            "    time.sleep(1)\n",
+        )
+
+    def test_sync_helper_nested_in_async_allowed(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "fleet/service.py",
+            "import time\n"
+            "async def run():\n"
+            "    def block():\n"
+            "        time.sleep(1)\n"
+            "    return block\n",
+        )
+
+    def test_blocking_fine_outside_fleet(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "obs/poller.py",
+            "import time\nasync def run():\n    time.sleep(1)\n",
+        )
+
+
 class TestRealTree:
     def test_src_repro_is_clean(self):
         assert repolint.lint_paths([str(REPO_ROOT / "src" / "repro")]) == []

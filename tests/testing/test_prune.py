@@ -1,8 +1,8 @@
-"""Audit-based static pruning of campaign cells (``prune="audit"``).
+"""Static pruning of campaign cells (``prune="audit"`` / ``"margins"``).
 
 The differential tests here are the point: the pruned campaign must
 produce the *identical* letter matrix while skipping statically-dead
-(injection x rule) cells.
+(audit) or provably-satisfied (margins) (injection x rule) cells.
 """
 
 import pytest
@@ -19,6 +19,12 @@ from repro.testing.parallel import run_table1_parallel
 SET_RULE = Rule.from_text("on_set", "set speed bound", "ACCSetSpeed < 50")
 VEL_RULE = Rule.from_text("on_vel", "velocity bound", "Velocity < 100")
 
+# VehicleAhead is a 1-bit BOOL: even injecting it directly can only
+# produce raw 0/1, so the margin prover certifies this rule (lower
+# bound 1 > 0) for *every* cell — including ones audit pruning cannot
+# touch because the rule depends on the injected signal.
+BIT_RULE = Rule.from_text("on_bit", "flag is one bit", "VehicleAhead < 2")
+
 QUICK = dict(seed=11, hold_time=2.0, gap_time=0.5, settle_time=8.0)
 
 # ACCSetSpeed is exogenous (driver-operated): injecting Velocity or
@@ -26,8 +32,10 @@ QUICK = dict(seed=11, hold_time=2.0, gap_time=0.5, settle_time=8.0)
 VEL_TEST = InjectionTest("Random Velocity", "Random", ("Velocity",))
 THROT_TEST = InjectionTest("Random ThrotPos", "Random", ("ThrotPos",))
 SET_TEST = InjectionTest("Random ACCSetSpeed", "Random", ("ACCSetSpeed",))
+BIT_TEST = InjectionTest("Random VehicleAhead", "Random", ("VehicleAhead",))
 
 FIXTURE_TESTS = [VEL_TEST, THROT_TEST, SET_TEST]
+MARGIN_TESTS = [VEL_TEST, BIT_TEST]
 
 
 class TestPruneConfig:
@@ -57,6 +65,87 @@ class TestPruneConfig:
         )
         bogus = InjectionTest("Random Bogus", "Random", ("Bogus",))
         assert campaign.dead_rule_ids(bogus) == ()
+
+    def test_negative_margin_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RobustnessCampaign(
+                prune="margins", margin_threshold=-0.5, **QUICK
+            )
+
+
+class TestMarginPruneConfig:
+    def test_empty_unless_margins_mode(self):
+        for prune in (None, "audit"):
+            campaign = RobustnessCampaign(
+                rules=[BIT_RULE], prune=prune, **QUICK
+            )
+            assert campaign.margin_safe_rule_ids(BIT_TEST) == ()
+
+    def test_paper_campaign_has_no_margin_safe_cells(self):
+        # Every paper rule's static lower bound is <= 0 (the gated
+        # rules' antecedents reach +/-inf), so margin pruning is a
+        # provable no-op on Table I — the CI byte-compare relies on it.
+        from repro.testing.campaign import table1_tests
+
+        campaign = RobustnessCampaign(prune="margins", **QUICK)
+        assert all(
+            campaign.margin_safe_rule_ids(test) == ()
+            for test in table1_tests()
+        )
+
+    def test_certifies_injected_bool_rule(self):
+        # The audit graph can't prune a rule over the injected signal;
+        # the margin prover can, because a 1-bit signal stays in [0, 1].
+        campaign = RobustnessCampaign(
+            rules=[BIT_RULE], prune="margins", **QUICK
+        )
+        assert campaign.margin_safe_rule_ids(BIT_TEST) == ("on_bit",)
+        audit = RobustnessCampaign(
+            rules=[BIT_RULE], prune="audit", **QUICK
+        )
+        assert audit.dead_rule_ids(BIT_TEST) == ()
+
+    def test_threshold_raises_the_bar(self):
+        # BIT_RULE's static lower bound is exactly 1 (margin 2 - 1);
+        # a threshold at or above it keeps the cell live.
+        campaign = RobustnessCampaign(
+            rules=[BIT_RULE],
+            prune="margins",
+            margin_threshold=1.0,
+            **QUICK,
+        )
+        assert campaign.margin_safe_rule_ids(BIT_TEST) == ()
+
+    def test_unknown_target_disables_pruning(self):
+        campaign = RobustnessCampaign(
+            rules=[BIT_RULE], prune="margins", **QUICK
+        )
+        bogus = InjectionTest("Random Bogus", "Random", ("Bogus",))
+        assert campaign.margin_safe_rule_ids(bogus) == ()
+
+    def test_fully_certified_test_skips_simulation(self):
+        campaign = RobustnessCampaign(
+            rules=[BIT_RULE], prune="margins", **QUICK
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            outcome = campaign.run_test(BIT_TEST)
+        assert outcome.report is None
+        assert outcome.letters == {"on_bit": "S"}
+        assert registry.counter("campaign.pruned_tests").value == 1
+        assert registry.counter("campaign.injections").value == 0
+
+    def test_partially_certified_test_monitors_the_rest(self):
+        campaign = RobustnessCampaign(
+            rules=[BIT_RULE, VEL_RULE], prune="margins", **QUICK
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            outcome = campaign.run_test(VEL_TEST)
+        assert outcome.report is not None
+        assert outcome.letters["on_bit"] == "S"
+        assert "on_vel" in outcome.letters
+        assert registry.counter("campaign.pruned_cells").value == 1
 
 
 class TestFullyDeadTest:
@@ -142,4 +231,34 @@ class TestDifferential:
     def test_parallel_prune_matches_serial(self):
         serial = self.run(prune="audit")
         parallel = self.run(prune="audit", jobs=2)
+        assert parallel == serial
+
+
+class TestMarginDifferential:
+    """Margin-pruned and full runs: identical letters, fewer cells."""
+
+    def run(self, prune, jobs=None):
+        campaign = RobustnessCampaign(
+            rules=[BIT_RULE, VEL_RULE], prune=prune, **QUICK
+        )
+        if jobs:
+            table = run_table1_parallel(
+                campaign, tests=MARGIN_TESTS, jobs=jobs
+            )
+        else:
+            table = campaign.run_table1(tests=MARGIN_TESTS)
+        return [row.letters for row in table.rows]
+
+    def test_letters_identical_with_cells_skipped(self):
+        full = self.run(prune=None)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            pruned = self.run(prune="margins")
+        assert pruned == full
+        # BIT_RULE is certified in both tests; VEL_RULE in neither.
+        assert registry.counter("campaign.pruned_cells").value == 2
+
+    def test_parallel_prune_matches_serial(self):
+        serial = self.run(prune="margins")
+        parallel = self.run(prune="margins", jobs=2)
         assert parallel == serial

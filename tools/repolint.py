@@ -21,6 +21,14 @@ probe indirectly, so this tiny linter enforces them statically (stdlib
   measures wall time with them by design — and wall-clock reads outside
   the two deterministic subtrees (CLI banners, log headers) are fine.
 
+* **RL003 — blocking calls in async code.**  ``time.sleep`` and
+  synchronous ``socket``/``http``/``urllib``/``requests`` calls inside
+  an ``async def`` under ``fleet/`` stall the event loop for every
+  stream the service is multiplexing.  Use ``asyncio.sleep`` or push
+  the blocking work into an executor.  Calls inside *sync* helpers
+  nested in an async function are fine — they only block when invoked,
+  which an executor does off-loop.
+
 Usage::
 
     python tools/repolint.py [root ...]
@@ -54,6 +62,16 @@ DETERMINISTIC_SUBTREES = (
     os.sep + "testing" + os.sep,
 )
 
+#: Path fragments whose ``async def`` bodies must not block the loop.
+ASYNC_SUBTREES = (os.sep + "fleet" + os.sep,)
+
+#: ``(module, attr)`` calls that block inside an ``async def``.
+BLOCKING_CALLS = (("time", "sleep"),)
+
+#: Modules whose *every* call is synchronous I/O (socket construction,
+#: HTTP requests, address resolution, ...) and blocks the event loop.
+BLOCKING_MODULES = frozenset({"socket", "http", "urllib", "requests"})
+
 
 class Finding(NamedTuple):
     path: str
@@ -82,9 +100,41 @@ def _call_target(node: ast.Call) -> Tuple[str, str]:
     return ("", "")
 
 
+def _blocking_in_async(tree: ast.AST) -> Iterator[Tuple[int, str, str]]:
+    """``(line, base, attr)`` for blocking calls lexically inside an
+    ``async def`` body (nested sync ``def``s reset the flag — they only
+    block when called, which an executor does off-loop)."""
+
+    def visit(node: ast.AST, in_async: bool) -> Iterator[Tuple[int, str, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AsyncFunctionDef):
+                child_async = True
+            elif isinstance(child, ast.FunctionDef):
+                child_async = False
+            else:
+                child_async = in_async
+            if child_async and isinstance(child, ast.Call):
+                base, attr = _call_target(child)
+                if (base, attr) in BLOCKING_CALLS or base in BLOCKING_MODULES:
+                    yield (child.lineno, base, attr)
+            yield from visit(child, child_async)
+
+    yield from visit(tree, False)
+
+
 def _check_file(path: str, source: str) -> Iterator[Finding]:
     tree = ast.parse(source, filename=path)
     deterministic = any(part in path for part in DETERMINISTIC_SUBTREES)
+    if any(part in path for part in ASYNC_SUBTREES):
+        for line, base, attr in _blocking_in_async(tree):
+            yield Finding(
+                path,
+                line,
+                "RL003",
+                "%s.%s() blocks the event loop inside an async def; "
+                "use asyncio.sleep or run the blocking work in an "
+                "executor" % (base, attr),
+            )
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -124,7 +174,12 @@ def lint_paths(roots: List[str]) -> List[Finding]:
             )
         for path in files:
             with open(path, "r", encoding="utf-8") as handle:
-                findings.extend(_check_file(path, handle.read()))
+                findings.extend(
+                    sorted(
+                        _check_file(path, handle.read()),
+                        key=lambda f: (f.line, f.code),
+                    )
+                )
     return findings
 
 
