@@ -1,0 +1,142 @@
+"""CI batch-smoke gate for store-backed batched checking.
+
+Reruns the batched-vs-per-trace bench at reduced scale, validates both
+the fresh measurement and the committed baseline
+(``results/BENCH_batch.json``) against the ``repro.bench.batch/v1``
+schema, and fails when either headline ratio falls off a cliff.
+
+Regression is judged on **same-machine ratios** (batched pass vs
+per-trace loop on identical input, pickled trace bytes vs pickled store
+handle), not absolute seconds: absolute throughput varies wildly
+between hosts, but "one batched pass over a grid store is k-times the
+per-trace loop" is host-independent.  Two gates apply even with no
+baseline:
+
+* ``speedup`` must clear :data:`MIN_SPEEDUP` — the acceptance bar for
+  the columnar path (the bench itself refuses to report at all unless
+  the batched letters are byte-identical to the per-trace loop's);
+* ``pickle_collapse`` must clear :data:`MIN_PICKLE_COLLAPSE` — the
+  process-boundary payload must be O(config), not O(trace data).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/batch_smoke.py [--replicas N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import (
+    bench_batch,
+    format_batch_bench,
+    require_valid_batch_bench_snapshot,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "results" / "BENCH_batch.json"
+
+#: The acceptance bar: one batched pass over a grid-packed store must
+#: beat the per-trace loop at least this many times over.
+MIN_SPEEDUP = 5.0
+
+#: The shared-store handle must undercut pickled trace data by at least
+#: this factor (real runs post ~10^5).
+MIN_PICKLE_COLLAPSE = 1_000.0
+
+#: A regression is flagged when a fresh same-machine ratio drops below
+#: the committed baseline's divided by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="drive-log replicas for the reduced-scale run (default 2)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per side (median-of, default 3)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="committed baseline snapshot (default results/BENCH_batch.json)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the fresh snapshot here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = require_valid_batch_bench_snapshot(
+        bench_batch(replicas=args.replicas, repeats=args.repeats)
+    )
+    print(format_batch_bench(fresh))
+    print()
+    if args.out is not None:
+        args.out.write_text(json.dumps(fresh, indent=2) + "\n", encoding="utf-8")
+        print("snapshot written to %s" % args.out)
+
+    failures = []
+
+    speedup = fresh["ratios"]["speedup"]
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            "batched checking ran only %.2fx the per-trace loop "
+            "(floor %.1fx)" % (speedup, MIN_SPEEDUP)
+        )
+    collapse = fresh["ratios"]["pickle_collapse"]
+    if collapse < MIN_PICKLE_COLLAPSE:
+        failures.append(
+            "store handle is only %.0fx smaller than pickled traces "
+            "(floor %.0fx) — the boundary payload is no longer O(config)"
+            % (collapse, MIN_PICKLE_COLLAPSE)
+        )
+
+    if args.baseline.exists():
+        baseline = require_valid_batch_bench_snapshot(
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+        )
+        print("baseline: %s" % args.baseline)
+        for name, committed in sorted(baseline["ratios"].items()):
+            measured = fresh["ratios"].get(name)
+            if measured is None:
+                failures.append("baseline ratio %r missing from fresh run" % name)
+                continue
+            floor = committed / REGRESSION_FACTOR
+            verdict = "ok" if measured >= floor else "REGRESSION"
+            print(
+                "  %-18s committed %10.2fx  measured %10.2fx  floor %10.2fx  %s"
+                % (name, committed, measured, floor, verdict)
+            )
+            if measured < floor:
+                failures.append(
+                    "ratio %s regressed >%gx: %.2fx measured vs %.2fx committed"
+                    % (name, REGRESSION_FACTOR, measured, committed)
+                )
+    else:
+        print(
+            "no committed baseline at %s — schema and floor checks only"
+            % args.baseline
+        )
+
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print()
+    print("batch smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,15 @@ takes a cumulative min/max from the left (``prefix``) and from the right
 (``suffix``) inside each block, and combines one element of each per
 output row — three passes over the data regardless of window width.
 
+Every kernel operates along the **last axis**, so a 2-D ``(trace, row)``
+batch from :class:`~repro.logs.trace.BatchTraceView` aggregates all
+traces in one fused pass; 1-D inputs behave exactly as before.  The
+block kernel's padded/prefix/suffix intermediates come from a
+thread-local scratch pool (reused across calls of the same shape) so a
+campaign's worth of window aggregates does not churn three fresh
+allocations per operator; outputs are always freshly allocated and
+never alias the pool.
+
 Both kernels share the seed implementation's padding semantics exactly:
 rows whose window extends past the end (future operators) or before the
 start (past operators) of the trace aggregate against UNKNOWN padding,
@@ -29,6 +38,8 @@ construction (and checked by the fuzz suite).
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from typing import Tuple
 
 import numpy as np
@@ -102,6 +113,51 @@ def bounds_to_rows(lo: float, hi: float, period: float) -> Tuple[int, int]:
 
 
 # ----------------------------------------------------------------------
+# Thread-local scratch pool
+# ----------------------------------------------------------------------
+
+#: Upper bound on pooled buffers per thread; campaigns use a handful of
+#: distinct (shape, width) combinations, so this is generous.
+_SCRATCH_CAPACITY = 64
+
+_scratch = threading.local()
+
+
+def _scratch_buffer(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """An uninitialized pooled buffer for ``(tag, shape, dtype)``.
+
+    Buffers are reused across calls on the same thread (LRU-evicted at
+    :data:`_SCRATCH_CAPACITY` entries).  Callers must fully overwrite
+    the buffer before reading it and must not let it escape: every
+    public kernel returns a freshly allocated array.
+    """
+    pool = getattr(_scratch, "pool", None)
+    if pool is None:
+        pool = _scratch.pool = OrderedDict()
+    key = (tag, shape, np.dtype(dtype).str)
+    buf = pool.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=dtype)
+        pool[key] = buf
+        if len(pool) > _SCRATCH_CAPACITY:
+            pool.popitem(last=False)
+    else:
+        pool.move_to_end(key)
+    return buf
+
+
+def scratch_pool_size() -> int:
+    """Number of buffers currently pooled on the calling thread."""
+    pool = getattr(_scratch, "pool", None)
+    return 0 if pool is None else len(pool)
+
+
+def clear_scratch_pool() -> None:
+    """Drop the calling thread's pooled buffers (tests, memory probes)."""
+    _scratch.pool = OrderedDict()
+
+
+# ----------------------------------------------------------------------
 # Core sliding extreme
 # ----------------------------------------------------------------------
 
@@ -117,48 +173,69 @@ def _identity(dtype: np.dtype, minimum: bool):
 def sliding_extreme(
     values: np.ndarray, width: int, minimum: bool
 ) -> np.ndarray:
-    """O(n) sliding min/max: ``out[i] = extreme(values[i : i + width])``.
+    """O(n) sliding min/max along the last axis.
 
-    Output length is ``len(values) - width + 1`` (must be >= 0).  This is
-    the van Herk/Gil–Werman block scan: cumulative extremes from the left
-    and right of each ``width``-sized block; every window spans at most
-    two blocks, so one suffix element and one prefix element cover it.
+    ``out[..., i] = extreme(values[..., i : i + width])`` with output
+    length ``values.shape[-1] - width + 1`` (must be >= 0); leading axes
+    are preserved, so a 2-D ``(trace, row)`` batch aggregates every
+    trace in one pass.  This is the van Herk/Gil–Werman block scan:
+    cumulative extremes from the left and right of each ``width``-sized
+    block; every window spans at most two blocks, so one suffix element
+    and one prefix element cover it.
     """
     if width < 1:
         raise ValueError("window width must be >= 1, got %d" % width)
-    n = len(values)
+    values = np.asarray(values)
+    n = values.shape[-1]
+    lead = values.shape[:-1]
     out_len = n - width + 1
     if out_len < 0:
         raise ValueError(
             "window of %d rows does not fit an array of %d" % (width, n)
         )
     if out_len == 0:
-        return np.empty(0, dtype=values.dtype)
+        return np.empty(lead + (0,), dtype=values.dtype)
     if width == 1:
         return np.array(values, dtype=values.dtype, copy=True)
     ufunc = np.minimum if minimum else np.maximum
     pad = (-n) % width
     if pad:
-        ident = _identity(values.dtype, minimum)
-        padded = np.concatenate(
-            [values, np.full(pad, ident, dtype=values.dtype)]
-        )
+        padded = _scratch_buffer("padded", lead + (n + pad,), values.dtype)
+        padded[..., :n] = values
+        padded[..., n:] = _identity(values.dtype, minimum)
     else:
-        padded = np.asarray(values)
-    blocks = padded.reshape(-1, width)
-    prefix = ufunc.accumulate(blocks, axis=1).reshape(-1)
-    suffix = ufunc.accumulate(blocks[:, ::-1], axis=1)[:, ::-1].reshape(-1)
-    return ufunc(suffix[:out_len], prefix[width - 1 : width - 1 + out_len])
+        padded = values
+    blocks = padded.reshape(lead + (-1, width))
+    prefix = _scratch_buffer("prefix", blocks.shape, values.dtype)
+    ufunc.accumulate(blocks, axis=-1, out=prefix)
+    # Suffix scan: copy the fully reversed blocks into scratch, scan
+    # left-to-right in place, then read the flat result reversed — the
+    # same per-block right-to-left cumulative as the textbook scheme,
+    # without the copy a reversed-view reshape would silently make.
+    suffix = _scratch_buffer("suffix", blocks.shape, values.dtype)
+    suffix[...] = blocks[..., ::-1, ::-1]
+    ufunc.accumulate(suffix, axis=-1, out=suffix)
+    flat = lead + (-1,)
+    prefix_flat = prefix.reshape(flat)
+    suffix_flat = suffix.reshape(flat)[..., ::-1]
+    # The combine allocates the output fresh: results never alias the
+    # pool, so memoized verdict arrays stay stable across later calls.
+    return ufunc(
+        suffix_flat[..., :out_len],
+        prefix_flat[..., width - 1 : width - 1 + out_len],
+    )
 
 
 def _strided_extreme(
     values: np.ndarray, width: int, minimum: bool
 ) -> np.ndarray:
     """The original O(n·w) strided-reduction kernel (reference path)."""
-    windows = np.lib.stride_tricks.sliding_window_view(values, width)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        values, width, axis=-1
+    )
     if minimum:
-        return windows.min(axis=1)
-    return windows.max(axis=1)
+        return windows.min(axis=-1)
+    return windows.max(axis=-1)
 
 
 def _extreme(values: np.ndarray, width: int, minimum: bool) -> np.ndarray:
@@ -183,17 +260,18 @@ def future_aggregate(
 
     Rows whose window extends past the end of the array aggregate
     against ``pad_value`` padding (UNKNOWN by default — the truncated
-    -evidence semantics of the bounded future operators).
+    -evidence semantics of the bounded future operators).  Operates
+    along the last axis; leading (batch) axes pass through.
     """
-    n = len(codes)
+    codes = np.asarray(codes)
+    n = codes.shape[-1]
     if n == 0:
-        return np.empty(0, dtype=codes.dtype)
+        return np.empty(codes.shape, dtype=codes.dtype)
     width = hi_idx - lo_idx + 1
-    padded = np.concatenate(
-        [codes, np.full(hi_idx, pad_value, dtype=codes.dtype)]
-    )
+    pad = np.full(codes.shape[:-1] + (hi_idx,), pad_value, dtype=codes.dtype)
+    padded = np.concatenate([codes, pad], axis=-1)
     extremes = _extreme(padded, width, minimum)
-    return extremes[lo_idx : lo_idx + n].astype(codes.dtype)
+    return extremes[..., lo_idx : lo_idx + n].astype(codes.dtype)
 
 
 def past_aggregate(
@@ -208,15 +286,15 @@ def past_aggregate(
     Mirrors :func:`future_aggregate` backwards: rows whose window
     precedes the start of the array aggregate against ``pad_value``.
     """
-    n = len(codes)
+    codes = np.asarray(codes)
+    n = codes.shape[-1]
     if n == 0:
-        return np.empty(0, dtype=codes.dtype)
+        return np.empty(codes.shape, dtype=codes.dtype)
     width = hi_idx - lo_idx + 1
-    padded = np.concatenate(
-        [np.full(hi_idx, pad_value, dtype=codes.dtype), codes]
-    )
+    pad = np.full(codes.shape[:-1] + (hi_idx,), pad_value, dtype=codes.dtype)
+    padded = np.concatenate([pad, codes], axis=-1)
     extremes = _extreme(padded, width, minimum)
-    return extremes[:n].astype(codes.dtype)
+    return extremes[..., :n].astype(codes.dtype)
 
 
 def dilate_backwards(triggered: np.ndarray, width: int) -> np.ndarray:

@@ -1,0 +1,734 @@
+"""Memory-mapped columnar trace store (the ``.rtc`` format).
+
+The per-trace CSV log format (``repro.logs.format``) is fine for one
+drive log; a Table I campaign at the ROADMAP's fleet scale is thousands
+of traces, and re-parsing text — or re-pickling :class:`Trace` objects
+into every worker process — dominates checking time.  An ``.rtc`` file
+("repro trace columns") stores every signal of every trace as a
+contiguous little-endian float64 column, so :meth:`TraceStore.open`
+costs one :class:`numpy.memmap` and each
+:meth:`StoredTrace.update_arrays` is a zero-copy slice of the mapping:
+the OS page cache shares the bytes between every process that opens the
+same file, and a monitor worker's pickle payload shrinks to the store's
+*path*.
+
+File layout (all integers little-endian)::
+
+    bytes 0..7    magic  b"RTCSTORE"
+    bytes 8..11   format version (currently 1)
+    bytes 12..15  length of the JSON index in bytes
+    bytes 16..19  CRC-32 of the JSON index
+    bytes 20..23  CRC-32 of the data region
+    bytes 24..31  length of the data region in bytes (u64 — the mapped
+                  segment may be page-rounded past the payload)
+    bytes 32..    JSON index, then zero padding to an 8-byte boundary,
+                  then the data region: concatenated float64 columns
+
+The JSON index maps each trace to its signals and each signal to an
+``(offset, count)`` pair of float64 element positions in the data
+region — the timestamp column lives at ``offset``, the value column at
+``offset + count``.  Checksums are validated on :meth:`TraceStore.open`
+(pass ``validate=False`` to defer the full-file read for very large
+stores).
+
+Packing with ``grid=<period>`` additionally resamples every trace onto
+that uniform grid *at pack time* — using the exact same
+``_SignalColumns`` machinery a live view would — and stores the
+resulting ``values``/``update_times``/``fresh`` columns (``fresh`` as
+float64 0/1).  Traces with identical row counts and signal sets are
+grouped, and each group stores one *trace-major 2-D block* per signal:
+``count`` rows of ``rows`` float64s for the values of every member
+trace, then the same for update times, then freshness.  A single
+trace's column is a zero-copy row slice of its group block, and a
+whole group batches as a zero-copy 2-D array — so
+``Monitor.check_batch`` over a grid store costs no resampling *and* no
+stacking, which is where the batched checking speedup comes from.  The
+grid columns are byte-identical to what live resampling would produce,
+so letters and reports do not change.
+
+For zero-copy sharing *without* a file — e.g. handing freshly simulated
+traces to sibling processes — :meth:`TraceStore.pack_shared` writes the
+same byte layout into a :class:`multiprocessing.shared_memory.SharedMemory`
+block and :meth:`TraceStore.attach` maps it by name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.logs.trace import Trace, TraceView, _GridColumns
+
+#: First 8 bytes of every ``.rtc`` file.
+MAGIC = b"RTCSTORE"
+
+#: Current format version, bumped on any layout change.
+VERSION = 1
+
+#: Fixed-size header: magic, version, index length, two checksums,
+#: data-region length.
+_HEADER_BYTES = 32
+
+_U32 = "<u4"
+
+
+def _pad8(n: int) -> int:
+    return (-n) % 8
+
+
+class _GridGroup:
+    """One pack-time grid group: equal-shape traces, shared 2-D blocks.
+
+    ``signals`` maps each signal to the element offset of its block
+    region: ``count * rows`` values, then update times, then freshness
+    flags (float64 0/1).  Reshaped block views are cached so every
+    member trace — and a :class:`~repro.logs.trace.BatchTraceView` over
+    the whole group — shares the *same* array objects, which is what
+    makes batched access zero-copy.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        count: int,
+        signals: Dict[str, int],
+        data: np.ndarray,
+    ) -> None:
+        self.rows = rows
+        self.count = count
+        self.signals = signals
+        self._data = data
+        self._blocks: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def blocks(
+        self, signal: str
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(values, update_times, fresh_f8)`` 2-D block views."""
+        cached = self._blocks.get(signal)
+        if cached is None:
+            offset = self.signals[signal]
+            size = self.count * self.rows
+            shape = (self.count, self.rows)
+            cached = (
+                self._data[offset : offset + size].reshape(shape),
+                self._data[offset + size : offset + 2 * size].reshape(shape),
+                self._data[offset + 2 * size : offset + 3 * size].reshape(
+                    shape
+                ),
+            )
+            self._blocks[signal] = cached
+        return cached
+
+
+#: Decoded per-trace grid record: (period, start, row_in_group, group).
+GridSpec = Tuple[float, float, int, _GridGroup]
+
+
+class StoredTrace:
+    """One trace inside an open :class:`TraceStore` (zero-copy).
+
+    Exposes the same read protocol as :class:`~repro.logs.trace.Trace`
+    — ``signals``/``updates``/``update_arrays``/``to_view`` and the
+    time-bound properties — but every array is an immutable slice of
+    the store's memory mapping; nothing is parsed or copied until a
+    view resamples it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray,
+        index: Dict[str, Tuple[int, int]],
+        grid: Optional[GridSpec] = None,
+    ) -> None:
+        self.name = name
+        self._data = data
+        self._index = index
+        self._grid = grid
+
+    @property
+    def grid_period(self) -> Optional[float]:
+        """Period of the pack-time resampling grid, if one was stored."""
+        return None if self._grid is None else self._grid[0]
+
+    def grid_columns(self, signal, n_rows, t0, period):
+        """Precomputed grid columns for ``signal``, or ``None``.
+
+        Called by :class:`~repro.logs.trace.TraceView` while building a
+        view; returns a ready-made column object when the stored grid
+        matches the requested one exactly (same period, origin and row
+        count — the comparison is exact because both sides derive these
+        from the same trace bounds), letting the view skip resampling.
+        The column carries its group's 2-D blocks so a batch over the
+        whole group stacks with zero copies.
+        """
+        if self._grid is None:
+            return None
+        gperiod, gstart, row, group = self._grid
+        if signal not in group.signals:
+            return None
+        if period != gperiod or n_rows != group.rows or t0 != gstart:
+            return None
+        values2, times2, fresh2 = group.blocks(signal)
+        return _GridColumns(
+            n_rows,
+            t0,
+            period,
+            values2[row],
+            fresh2[row],
+            times2[row],
+            blocks=(values2, times2, fresh2),
+            row=row,
+        )
+
+    # ------------------------------------------------------------------
+    # The Trace read protocol
+    # ------------------------------------------------------------------
+
+    def signals(self) -> Tuple[str, ...]:
+        """All signal names stored for this trace, sorted."""
+        return tuple(sorted(self._index))
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self._index
+
+    def update_count(self, signal: Optional[str] = None) -> int:
+        """Update count for one signal, or for the whole trace."""
+        if signal is not None:
+            if signal not in self._index:
+                return 0
+            return self._index[signal][1]
+        return sum(count for _, count in self._index.values())
+
+    def update_arrays(self, signal: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(timestamps, values)`` column slices."""
+        try:
+            offset, count = self._index[signal]
+        except KeyError:
+            raise TraceError(
+                "no updates recorded for signal %s" % signal
+            ) from None
+        times = self._data[offset : offset + count]
+        values = self._data[offset + count : offset + 2 * count]
+        return times, values
+
+    def updates(self, signal: str) -> List[Tuple[float, float]]:
+        """The ``(timestamp, value)`` updates of one signal, in order."""
+        times, values = self.update_arrays(signal)
+        return [(float(t), float(v)) for t, v in zip(times, values)]
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the earliest update in the trace."""
+        starts = [
+            self._data[offset]
+            for offset, count in self._index.values()
+            if count
+        ]
+        if not starts:
+            raise TraceError("trace is empty")
+        return float(min(starts))
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the latest update in the trace."""
+        ends = [
+            self._data[offset + count - 1]
+            for offset, count in self._index.values()
+            if count
+        ]
+        if not ends:
+            raise TraceError("trace is empty")
+        return float(max(ends))
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace, in seconds."""
+        return self.end_time - self.start_time
+
+    def is_empty(self) -> bool:
+        """Whether the trace holds no updates at all."""
+        return all(count == 0 for _, count in self._index.values())
+
+    def to_trace(self) -> Trace:
+        """Materialize a mutable in-memory :class:`Trace` copy."""
+        out = Trace(self.name)
+        for signal in self.signals():
+            times, values = self.update_arrays(signal)
+            for t, v in zip(times, values):
+                out.record(signal, float(t), float(v))
+        return out
+
+    def to_view(
+        self,
+        period: float,
+        signals: Optional[Sequence[str]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> TraceView:
+        """Resample onto a uniform grid at ``period`` seconds.
+
+        Like :meth:`StreamTrace.to_view`, a requested signal stored
+        with zero updates raises :class:`TraceError` — there is no data
+        to resample, only the name.
+        """
+        for signal in signals or ():
+            if signal in self._index and self._index[signal][1] == 0:
+                raise TraceError("trace has no signal %s" % signal)
+        return TraceView(self, period, signals=signals, start=start, end=end)
+
+
+class TraceStore:
+    """A packed collection of traces with zero-copy columnar access.
+
+    Use :meth:`pack` to write traces to an ``.rtc`` file, :meth:`open`
+    to memory-map one, :meth:`pack_shared`/:meth:`attach` for the
+    :class:`~multiprocessing.shared_memory.SharedMemory` transport.
+    Stores are read-only; supports iteration, ``len``, and lookup by
+    trace name or position.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        index: "List[Tuple[str, Dict[str, Tuple[int, int]], Optional[GridSpec]]]",
+        source: str,
+        nbytes: int,
+        _mmap: Optional[np.memmap] = None,
+        _shm: Optional[object] = None,
+    ) -> None:
+        self._data = data
+        self._entries = index
+        self._by_name = {entry[0]: i for i, entry in enumerate(index)}
+        self.source = source
+        self.nbytes = nbytes
+        self._mmap = _mmap
+        self._shm = _shm
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode(
+        traces: Sequence[Union[Trace, StoredTrace]],
+        grid: Optional[float] = None,
+    ) -> bytes:
+        """The full ``.rtc`` byte image for ``traces``.
+
+        ``grid`` resamples each trace onto a uniform grid at that
+        period (seconds) and stores the resulting columns alongside the
+        raw updates — see the module docstring.
+        """
+        entries = []
+        columns: List[np.ndarray] = []
+        offset = 0
+        seen = set()
+        for position, trace in enumerate(traces):
+            name = trace.name or "trace-%04d" % position
+            if name in seen:
+                raise TraceError(
+                    "duplicate trace name %r in store pack" % name
+                )
+            seen.add(name)
+            signals: Dict[str, List[int]] = {}
+            for signal in trace.signals():
+                times, values = trace.update_arrays(signal)
+                times = np.ascontiguousarray(times, dtype="<f8")
+                values = np.ascontiguousarray(values, dtype="<f8")
+                if len(times) != len(values):
+                    raise TraceError(
+                        "%s/%s: %d timestamps vs %d values"
+                        % (name, signal, len(times), len(values))
+                    )
+                signals[signal] = [offset, len(times)]
+                columns.append(times)
+                columns.append(values)
+                offset += 2 * len(times)
+            entries.append({"name": name, "signals": signals})
+        spec: Dict[str, object] = {"traces": entries}
+        if grid is not None:
+            offset = TraceStore._encode_grid(
+                traces, entries, spec, columns, offset, float(grid)
+            )
+        data = (
+            np.concatenate(columns)
+            if columns
+            else np.empty(0, dtype="<f8")
+        ).tobytes()
+        index_json = json.dumps(
+            spec, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        pad = _pad8(_HEADER_BYTES + len(index_json))
+        header = b"".join(
+            [
+                MAGIC,
+                np.array(
+                    [
+                        VERSION,
+                        len(index_json),
+                        zlib.crc32(index_json) & 0xFFFFFFFF,
+                        zlib.crc32(data) & 0xFFFFFFFF,
+                    ],
+                    dtype=_U32,
+                ).tobytes(),
+                np.array([len(data)], dtype="<u8").tobytes(),
+            ]
+        )
+        return header + index_json + b"\0" * pad + data
+
+    @staticmethod
+    def _encode_grid(
+        traces: Sequence[Union[Trace, StoredTrace]],
+        entries: List[Dict[str, object]],
+        spec: Dict[str, object],
+        columns: List[np.ndarray],
+        offset: int,
+        grid: float,
+    ) -> int:
+        """Append grid group blocks to ``columns``; returns new offset.
+
+        Traces are resampled at ``grid`` seconds and grouped by (row
+        count, signal set); each group emits one trace-major 2-D block
+        per signal (values, then update times, then freshness as f8
+        0/1), with member order equal to pack order.
+        """
+        views = []
+        for position, trace in enumerate(traces):
+            if trace.is_empty():
+                views.append(None)
+                continue
+            views.append(trace.to_view(period=grid))
+        groups: Dict[Tuple[int, Tuple[str, ...]], List[int]] = {}
+        for position, view in enumerate(views):
+            if view is not None:
+                key = (view.n_rows, view.signal_names)
+                groups.setdefault(key, []).append(position)
+        group_specs: List[Dict[str, object]] = []
+        for (rows, signal_names), members in sorted(
+            groups.items(), key=lambda item: item[1][0]
+        ):
+            grid_signals: Dict[str, int] = {}
+            for signal in signal_names:
+                grid_signals[signal] = offset
+                member_columns = [views[m]._column(signal) for m in members]
+                for kind in ("values", "update_times", "fresh"):
+                    for column in member_columns:
+                        columns.append(
+                            np.ascontiguousarray(
+                                getattr(column, kind), dtype="<f8"
+                            )
+                        )
+                offset += 3 * len(members) * rows
+            group_index = len(group_specs)
+            group_specs.append(
+                {
+                    "rows": rows,
+                    "count": len(members),
+                    "signals": grid_signals,
+                }
+            )
+            for row, member in enumerate(members):
+                entries[member]["grid"] = {
+                    "start": float(views[member].times[0]),
+                    "group": group_index,
+                    "row": row,
+                }
+        spec["grid"] = {"period": grid, "groups": group_specs}
+        return offset
+
+    @classmethod
+    def pack(
+        cls,
+        traces: Sequence[Union[Trace, StoredTrace]],
+        path: Union[str, os.PathLike],
+        grid: Optional[float] = None,
+    ) -> str:
+        """Write ``traces`` to ``path`` as an ``.rtc`` file.
+
+        Returns the path written.  Trace names must be unique; empty
+        names get a positional default.  ``grid=<period>`` additionally
+        stores pack-time resampled columns so views at that period skip
+        resampling (larger file, much faster checking).
+        """
+        image = cls._encode(traces, grid=grid)
+        with open(path, "wb") as handle:
+            handle.write(image)
+        return str(path)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _decode(
+        cls,
+        buffer,
+        source: str,
+        validate: bool,
+        nbytes: int,
+        _mmap: Optional[np.memmap] = None,
+        _shm: Optional[object] = None,
+    ) -> "TraceStore":
+        if nbytes < _HEADER_BYTES:
+            raise TraceError("%s: not a trace store (truncated header)" % source)
+        raw = np.frombuffer(buffer, dtype=np.uint8, count=nbytes)
+        if raw[:8].tobytes() != MAGIC:
+            raise TraceError("%s: not a trace store (bad magic)" % source)
+        version, index_len, index_crc, data_crc = (
+            int(x) for x in raw[8:24].view(_U32)
+        )
+        if version != VERSION:
+            raise TraceError(
+                "%s: store format v%d not supported (expected v%d)"
+                % (source, version, VERSION)
+            )
+        data_len = int(raw[24:32].view("<u8")[0])
+        index_end = _HEADER_BYTES + index_len
+        data_start = index_end + _pad8(index_end)
+        if data_start + data_len > nbytes or data_len % 8:
+            raise TraceError("%s: corrupt store layout" % source)
+        index_bytes = raw[_HEADER_BYTES:index_end].tobytes()
+        if validate:
+            if zlib.crc32(index_bytes) & 0xFFFFFFFF != index_crc:
+                raise TraceError("%s: index checksum mismatch" % source)
+            crc = zlib.crc32(raw[data_start : data_start + data_len])
+            if crc & 0xFFFFFFFF != data_crc:
+                raise TraceError("%s: data checksum mismatch" % source)
+        try:
+            spec = json.loads(index_bytes.decode("utf-8"))
+            traces = spec["traces"]
+        except (ValueError, KeyError) as exc:
+            raise TraceError("%s: corrupt store index (%s)" % (source, exc))
+        data = raw[data_start : data_start + data_len].view("<f8")
+        data.flags.writeable = False
+        n_cells = len(data)
+        grid_period: Optional[float] = None
+        grid_groups: List[_GridGroup] = []
+        if "grid" in spec:
+            grid_period = float(spec["grid"]["period"])
+            for group_spec in spec["grid"]["groups"]:
+                rows = int(group_spec["rows"])
+                count = int(group_spec["count"])
+                signals_spec: Dict[str, int] = {}
+                for signal, offset in group_spec["signals"].items():
+                    if (
+                        offset < 0
+                        or rows < 0
+                        or count < 0
+                        or offset + 3 * count * rows > n_cells
+                    ):
+                        raise TraceError(
+                            "%s: grid block for %s overruns the data region"
+                            % (source, signal)
+                        )
+                    signals_spec[signal] = int(offset)
+                grid_groups.append(_GridGroup(rows, count, signals_spec, data))
+        entries: List[
+            Tuple[str, Dict[str, Tuple[int, int]], Optional[GridSpec]]
+        ] = []
+        for entry in traces:
+            signals: Dict[str, Tuple[int, int]] = {}
+            for signal, (offset, count) in entry["signals"].items():
+                if offset < 0 or count < 0 or offset + 2 * count > n_cells:
+                    raise TraceError(
+                        "%s: column %s/%s overruns the data region"
+                        % (source, entry["name"], signal)
+                    )
+                signals[signal] = (int(offset), int(count))
+            grid: Optional[GridSpec] = None
+            if "grid" in entry:
+                entry_grid = entry["grid"]
+                group_index = int(entry_grid["group"])
+                row = int(entry_grid["row"])
+                if (
+                    grid_period is None
+                    or group_index >= len(grid_groups)
+                    or row >= grid_groups[group_index].count
+                ):
+                    raise TraceError(
+                        "%s: trace %s references a bad grid group"
+                        % (source, entry["name"])
+                    )
+                grid = (
+                    grid_period,
+                    float(entry_grid["start"]),
+                    row,
+                    grid_groups[group_index],
+                )
+            entries.append((entry["name"], signals, grid))
+        return cls(data, entries, source, nbytes, _mmap=_mmap, _shm=_shm)
+
+    @classmethod
+    def open(
+        cls, path: Union[str, os.PathLike], validate: bool = True
+    ) -> "TraceStore":
+        """Memory-map an ``.rtc`` file.
+
+        ``validate=True`` (the default) checks both CRC-32s, which
+        touches every page once; pass ``validate=False`` to defer that
+        cost for very large stores.
+        """
+        path = str(path)
+        nbytes = os.path.getsize(path)
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+        return cls._decode(
+            mapped, path, validate=validate, nbytes=nbytes, _mmap=mapped
+        )
+
+    # ------------------------------------------------------------------
+    # SharedMemory transport
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def pack_shared(
+        cls,
+        traces: Sequence[Union[Trace, StoredTrace]],
+        name: Optional[str] = None,
+        grid: Optional[float] = None,
+    ) -> "TraceStore":
+        """Pack ``traces`` into a named SharedMemory block.
+
+        The returned store owns the block; read its :attr:`shm_name`,
+        hand that to sibling processes for :meth:`attach`, and call
+        :meth:`close` with ``unlink=True`` when every reader is done.
+        ``grid`` stores pack-time resampled columns, as in :meth:`pack`.
+        """
+        from multiprocessing import shared_memory
+
+        image = cls._encode(traces, grid=grid)
+        shm = shared_memory.SharedMemory(
+            create=True, size=len(image), name=name
+        )
+        shm.buf[: len(image)] = image
+        return cls._decode(
+            shm.buf, "shm://%s" % shm.name, validate=False,
+            nbytes=len(image), _shm=shm,
+        )
+
+    @classmethod
+    def attach(cls, name: str, validate: bool = True) -> "TraceStore":
+        """Attach to a SharedMemory store packed by :meth:`pack_shared`."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        nbytes = shm.size
+        # Some platforms round the segment up to a page; trust the
+        # header's own layout to find the true extent.
+        store = cls._decode(
+            shm.buf, "shm://%s" % name, validate=validate,
+            nbytes=nbytes, _shm=shm,
+        )
+        return store
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        """Name of the backing SharedMemory block, if any."""
+        return getattr(self._shm, "name", None)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> Tuple[str, ...]:
+        """Trace names in pack order."""
+        return tuple(entry[0] for entry in self._entries)
+
+    @property
+    def grid_period(self) -> Optional[float]:
+        """Period of the pack-time grid, if any trace stored one."""
+        for _, _, grid in self._entries:
+            if grid is not None:
+                return grid[0]
+        return None
+
+    def __iter__(self) -> Iterator[StoredTrace]:
+        for i in range(len(self._entries)):
+            yield self[i]
+
+    def __getitem__(self, key: Union[int, str]) -> StoredTrace:
+        if isinstance(key, str):
+            if key not in self._by_name:
+                raise TraceError("store has no trace named %r" % key)
+            key = self._by_name[key]
+        name, signals, grid = self._entries[key]
+        return StoredTrace(name, self._data, signals, grid=grid)
+
+    def info(self) -> Dict[str, object]:
+        """Summary metadata (the ``repro trace info`` payload)."""
+        traces = []
+        for name, signals, grid in self._entries:
+            counts = {signal: count for signal, (_, count) in signals.items()}
+            traces.append(
+                {
+                    "name": name,
+                    "signals": len(signals),
+                    "updates": sum(counts.values()),
+                    "counts": counts,
+                    "grid": (
+                        None
+                        if grid is None
+                        else {"period": grid[0], "rows": grid[3].rows}
+                    ),
+                }
+            )
+        return {
+            "format": "rtc",
+            "version": VERSION,
+            "source": self.source,
+            "bytes": self.nbytes,
+            "traces": traces,
+        }
+
+    def close(self, unlink: bool = False, untrack: bool = False) -> None:
+        """Release the mapping or SharedMemory block.
+
+        ``unlink=True`` additionally destroys a SharedMemory segment
+        (the creator should do this exactly once, after every reader
+        detached).  ``untrack=True`` instead *transfers* cleanup
+        responsibility: this process's resource tracker forgets the
+        segment, so it survives process exit until whoever received the
+        name unlinks it — the handoff the parallel columnar runner uses
+        (Python's tracker would otherwise double-unlink and warn,
+        bpo-38119).  Safe to call more than once.
+        """
+        self._data = np.empty(0, dtype="<f8")
+        self._entries = []
+        self._by_name = {}
+        mapped, self._mmap = self._mmap, None
+        if mapped is not None:
+            # memmap buffers release with the last array reference; the
+            # explicit del is just intent.
+            del mapped
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # Zero-copy views still reference the mapping; the pages
+                # release with the last view (or the process).  Unlinking
+                # below still removes the name system-wide.
+                pass
+            if unlink:
+                shm.unlink()
+            elif untrack:
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

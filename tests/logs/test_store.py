@@ -1,0 +1,337 @@
+"""Columnar trace store (``repro.logs.store``).
+
+The store's one contract: a :class:`StoredTrace` is observationally
+identical to the :class:`Trace` it was packed from — same updates, same
+views, same monitor verdicts — whether the bytes live in a
+memory-mapped file or a SharedMemory segment, and whether the view
+resamples the raw updates or reads pack-time grid columns.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from helpers import multirate_trace, uniform_trace
+from repro.core.monitor import Monitor, Rule
+from repro.core.windows import use_kernel
+from repro.errors import TraceError
+from repro.logs.store import MAGIC, StoredTrace, TraceStore
+from repro.logs.trace import Trace
+
+PERIOD = 0.02
+
+RULES = [
+    Rule.from_text("r_hold", "held bound", "x > 0"),
+    Rule.from_text(
+        "r_window", "windowed recovery", "x < 5 or eventually[0, 0.1s] x < 5"
+    ),
+    Rule.from_text("r_trend", "multi-rate trend", "not rising(y) or x > -10"),
+]
+
+
+def sample_traces():
+    return [
+        uniform_trace({"x": [1, 2, 3, 4], "y": [0, 0, 1, 1]}, name="a"),
+        multirate_trace({"x": range(8)}, {"y": [2, 9]}, name="b"),
+        uniform_trace({"x": [9, -1, 9, 9], "y": range(4)}, name="c"),
+    ]
+
+
+def report_bytes(reports):
+    return json.dumps([r.to_dict() for r in reports]).encode()
+
+
+class TestRoundTrip:
+    def test_pack_open_preserves_every_update(self, tmp_path):
+        traces = sample_traces()
+        path = TraceStore.pack(traces, tmp_path / "t.rtc")
+        with TraceStore.open(path) as store:
+            assert len(store) == len(traces)
+            assert store.names() == ("a", "b", "c")
+            for original, stored in zip(traces, store):
+                assert stored.signals() == original.signals()
+                for signal in original.signals():
+                    assert stored.updates(signal) == original.updates(signal)
+                assert stored.start_time == original.start_time
+                assert stored.duration == original.duration
+
+    def test_lookup_by_name_and_index(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        with TraceStore.open(path) as store:
+            assert store["b"].name == "b"
+            assert store[1].name == "b"
+            with pytest.raises(TraceError, match="ghost"):
+                store["ghost"]
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        twins = [uniform_trace({"x": [1]}, name="t") for _ in range(2)]
+        with pytest.raises(TraceError, match="duplicate"):
+            TraceStore.pack(twins, tmp_path / "t.rtc")
+
+    def test_to_trace_rebuilds_a_mutable_clone(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        with TraceStore.open(path) as store:
+            clone = store["a"].to_trace()
+            assert isinstance(clone, Trace)
+            assert clone.updates("x") == store["a"].updates("x")
+            clone.record("x", 99.0, 7.0)  # the store itself is immutable
+
+    def test_stored_columns_are_read_only(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        with TraceStore.open(path) as store:
+            times, values = store["a"].update_arrays("x")
+            with pytest.raises((ValueError, RuntimeError)):
+                values[0] = 123.0
+
+    def test_repacking_stored_traces_roundtrips(self, tmp_path):
+        first = TraceStore.pack(sample_traces(), tmp_path / "1.rtc")
+        with TraceStore.open(first) as store:
+            second = TraceStore.pack(list(store), tmp_path / "2.rtc")
+        assert (tmp_path / "1.rtc").read_bytes() == (
+            tmp_path / "2.rtc"
+        ).read_bytes()
+
+
+class TestValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.rtc"
+        path.write_bytes(b"NOTSTORE" + bytes(24))
+        with pytest.raises(TraceError, match="magic"):
+            TraceStore.open(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "t.rtc"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(TraceError, match="truncated"):
+            TraceStore.open(path)
+
+    def test_flipped_data_byte_fails_checksum(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        corrupt = bytearray((tmp_path / "t.rtc").read_bytes())
+        corrupt[-1] ^= 0xFF
+        (tmp_path / "t.rtc").write_bytes(bytes(corrupt))
+        with pytest.raises(TraceError, match="checksum"):
+            TraceStore.open(path)
+        # Deferred validation trades the full-file CRC pass for trust.
+        with TraceStore.open(path, validate=False) as store:
+            assert store.names() == ("a", "b", "c")
+
+    def test_flipped_index_byte_fails_checksum(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        corrupt = bytearray((tmp_path / "t.rtc").read_bytes())
+        corrupt[40] ^= 0x01  # inside the JSON index
+        (tmp_path / "t.rtc").write_bytes(bytes(corrupt))
+        with pytest.raises(TraceError, match="checksum"):
+            TraceStore.open(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        corrupt = bytearray((tmp_path / "t.rtc").read_bytes())
+        corrupt[8] = 99  # version u32 little-endian low byte
+        (tmp_path / "t.rtc").write_bytes(bytes(corrupt))
+        with pytest.raises(TraceError, match="v99"):
+            TraceStore.open(path, validate=False)
+
+
+class TestGridColumns:
+    def test_grid_metadata_survives_the_roundtrip(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc", grid=PERIOD)
+        with TraceStore.open(path) as store:
+            assert store.grid_period == PERIOD
+            info = store.info()
+            for entry in info["traces"]:
+                assert entry["grid"]["period"] == PERIOD
+                assert entry["grid"]["rows"] >= 1
+
+    def test_grid_views_match_raw_resampling(self, tmp_path):
+        traces = sample_traces()
+        raw = TraceStore.pack(traces, tmp_path / "raw.rtc")
+        grid = TraceStore.pack(traces, tmp_path / "grid.rtc", grid=PERIOD)
+        with TraceStore.open(raw) as raw_store, TraceStore.open(
+            grid
+        ) as grid_store:
+            for original, from_raw, from_grid in zip(
+                traces, raw_store, grid_store
+            ):
+                reference = original.to_view(PERIOD)
+                for view in (
+                    from_raw.to_view(PERIOD),
+                    from_grid.to_view(PERIOD),
+                ):
+                    assert view.n_rows == reference.n_rows
+                    for signal in original.signals():
+                        for column in (
+                            "values",
+                            "fresh",
+                            "update_times",
+                            "delta_fresh",
+                            "rate",
+                        ):
+                            np.testing.assert_array_equal(
+                                getattr(view, column)(signal),
+                                getattr(reference, column)(signal),
+                                err_msg="%s.%s" % (signal, column),
+                            )
+
+    def test_mismatched_period_falls_back_to_raw(self, tmp_path):
+        traces = sample_traces()
+        path = TraceStore.pack(traces, tmp_path / "t.rtc", grid=PERIOD)
+        with TraceStore.open(path) as store:
+            view = store["a"].to_view(PERIOD * 2)
+            reference = traces[0].to_view(PERIOD * 2)
+            np.testing.assert_array_equal(
+                view.values("x"), reference.values("x")
+            )
+
+    def test_grid_store_is_larger_but_same_traces(self, tmp_path):
+        traces = sample_traces()
+        raw = TraceStore.pack(traces, tmp_path / "raw.rtc")
+        grid = TraceStore.pack(traces, tmp_path / "grid.rtc", grid=PERIOD)
+        import os
+
+        assert os.path.getsize(grid) > os.path.getsize(raw)
+        with TraceStore.open(grid) as store:
+            assert store["b"].updates("y") == traces[1].updates("y")
+
+
+class TestSharedMemory:
+    def test_attach_sees_identical_bytes(self):
+        traces = sample_traces()
+        owner = TraceStore.pack_shared(traces, grid=PERIOD)
+        try:
+            assert owner.shm_name
+            reader = TraceStore.attach(owner.shm_name)
+            try:
+                assert reader.names() == owner.names()
+                assert reader["c"].updates("x") == traces[2].updates("x")
+                assert reader.grid_period == PERIOD
+            finally:
+                reader.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_handle_is_o_config(self):
+        owner = TraceStore.pack_shared(sample_traces())
+        try:
+            assert len(pickle.dumps(owner.shm_name)) < 256
+        finally:
+            owner.close(unlink=True)
+
+    def test_untrack_hands_cleanup_to_the_attacher(self):
+        # The worker-side protocol: pack, untrack (so this process's
+        # resource tracker forgets the segment), and let the parent
+        # attach + unlink.  The segment must still be reachable between
+        # the two steps.
+        owner = TraceStore.pack_shared(sample_traces())
+        name = owner.shm_name
+        owner.close(untrack=True)
+        parent = TraceStore.attach(name)
+        assert parent.names() == ("a", "b", "c")
+        parent.close(unlink=True)
+
+    def test_file_backed_store_has_no_shm_name(self, tmp_path):
+        path = TraceStore.pack(sample_traces(), tmp_path / "t.rtc")
+        with TraceStore.open(path) as store:
+            assert store.shm_name is None
+
+
+class TestMonitorEquivalence:
+    """Stored traces must be monitor-indistinguishable from in-memory
+    ones — per trace and batched, raw and grid, both window kernels."""
+
+    @pytest.mark.parametrize("kernel", ["block", "strided"])
+    @pytest.mark.parametrize("grid", [None, PERIOD])
+    def test_check_matches_in_memory(self, tmp_path, kernel, grid):
+        traces = sample_traces()
+        path = TraceStore.pack(traces, tmp_path / "t.rtc", grid=grid)
+        with use_kernel(kernel), TraceStore.open(path) as store:
+            expected = [Monitor(RULES).check(t) for t in traces]
+            stored = [Monitor(RULES).check(s) for s in store]
+            assert report_bytes(stored) == report_bytes(expected)
+
+    @pytest.mark.parametrize("kernel", ["block", "strided"])
+    @pytest.mark.parametrize("grid", [None, PERIOD])
+    def test_check_batch_matches_per_trace_loop(self, tmp_path, kernel, grid):
+        traces = sample_traces()
+        path = TraceStore.pack(traces, tmp_path / "t.rtc", grid=grid)
+        with use_kernel(kernel), TraceStore.open(path) as store:
+            expected = [Monitor(RULES).check(t) for t in traces]
+            batched = Monitor(RULES).check_batch(store)
+            assert report_bytes(batched) == report_bytes(expected)
+
+    def test_check_batch_with_robustness_matches(self, tmp_path):
+        traces = sample_traces()
+        path = TraceStore.pack(traces, tmp_path / "t.rtc", grid=PERIOD)
+        with TraceStore.open(path) as store:
+            expected = [
+                Monitor(RULES).check(t, robustness=True) for t in traces
+            ]
+            batched = Monitor(RULES).check_batch(store, robustness=True)
+            assert report_bytes(batched) == report_bytes(expected)
+
+
+class TestDegenerateShapes:
+    """The shapes that break stride tricks: one-row views, signals that
+    never refresh, and traces too empty to view at all."""
+
+    @pytest.mark.parametrize("kernel", ["block", "strided"])
+    @pytest.mark.parametrize("grid", [None, PERIOD])
+    def test_single_row_trace(self, tmp_path, kernel, grid):
+        instant = Trace("instant")
+        instant.record("x", 0.0, 1.0)
+        instant.record("y", 0.0, 0.0)
+        path = TraceStore.pack([instant], tmp_path / "t.rtc", grid=grid)
+        with use_kernel(kernel), TraceStore.open(path) as store:
+            view = store[0].to_view(PERIOD)
+            assert view.n_rows == 1
+            assert view.values("x").tolist() == [1.0]
+            assert view.fresh("x").tolist() == [True]
+            expected = Monitor(RULES).check(instant)
+            assert report_bytes(
+                Monitor(RULES).check_batch(store)
+            ) == report_bytes([expected])
+
+    @pytest.mark.parametrize("kernel", ["block", "strided"])
+    @pytest.mark.parametrize("grid", [None, PERIOD])
+    def test_all_stale_signal(self, tmp_path, kernel, grid):
+        # y updates once at t0 and never again: fresh exactly at row 0,
+        # held (stale) everywhere after, delta/rate pinned to zero.
+        trace = uniform_trace({"x": range(10)}, name="stale")
+        trace.record("y", 0.0, 3.0)
+        path = TraceStore.pack([trace], tmp_path / "t.rtc", grid=grid)
+        with use_kernel(kernel), TraceStore.open(path) as store:
+            view = store[0].to_view(PERIOD)
+            assert view.fresh("y").tolist() == (
+                [True] + [False] * (view.n_rows - 1)
+            )
+            assert set(view.values("y").tolist()) == {3.0}
+            assert set(view.delta_fresh("y").tolist()) == {0.0}
+            expected = Monitor(RULES).check(trace)
+            assert report_bytes(
+                Monitor(RULES).check_batch(store)
+            ) == report_bytes([expected])
+
+    def test_zero_update_trace_packs_but_cannot_view(self, tmp_path):
+        path = TraceStore.pack([Trace("void")], tmp_path / "t.rtc")
+        with TraceStore.open(path) as store:
+            assert store[0].is_empty()
+            assert store[0].signals() == ()
+            with pytest.raises(TraceError, match="empty"):
+                store[0].to_view(PERIOD)
+
+    @pytest.mark.parametrize("kernel", ["block", "strided"])
+    def test_ragged_group_batch(self, tmp_path, kernel):
+        # Different durations land in different grid groups; the batch
+        # path must still agree with the loop across group boundaries.
+        traces = [
+            uniform_trace({"x": range(3), "y": range(3)}, name="short"),
+            uniform_trace({"x": range(40), "y": range(40)}, name="long"),
+            uniform_trace({"x": [5, 6, 7], "y": [1, 1, 1]}, name="short2"),
+        ]
+        path = TraceStore.pack(traces, tmp_path / "t.rtc", grid=PERIOD)
+        with use_kernel(kernel), TraceStore.open(path) as store:
+            expected = [Monitor(RULES).check(t) for t in traces]
+            batched = Monitor(RULES).check_batch(store)
+            assert report_bytes(batched) == report_bytes(expected)

@@ -141,6 +141,77 @@ class TestAsyncBlocking:
         )
 
 
+class TestListRoundTrips:
+    def test_tolist_flagged_in_core(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "core/evaluator.py",
+            "def f(col):\n    return col.tolist()\n",
+        )
+        assert [f.code for f in findings] == ["RL004"]
+        assert "tolist" in findings[0].message
+
+    def test_tolist_flagged_in_logs(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "logs/trace.py",
+            "def f(values):\n    return values.tolist()\n",
+        )
+        assert [f.code for f in findings] == ["RL004"]
+
+    def test_array_of_list_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "core/windows.py",
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    return np.array(list(xs))\n",
+        )
+        assert [f.code for f in findings] == ["RL004"]
+        assert "np.array(list" in findings[0].message
+
+    def test_serialization_modules_allowlisted(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "logs/format.py",
+            "def dump(col):\n    return col.tolist()\n",
+        )
+        assert not lint_source(
+            tmp_path,
+            "logs/store.py",
+            "import numpy as np\n"
+            "def load(xs):\n"
+            "    return np.array(list(xs))\n",
+        )
+
+    def test_fine_outside_hot_paths(self, tmp_path):
+        assert not lint_source(
+            tmp_path, "obs/metrics.py", "def f(col):\n    return col.tolist()\n"
+        )
+        assert not lint_source(
+            tmp_path,
+            "cli.py",
+            "import numpy as np\nx = np.array(list(range(3)))\n",
+        )
+
+    def test_asarray_and_plain_array_allowed(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "core/resampler.py",
+            "import numpy as np\n"
+            "a = np.asarray([1, 2])\n"
+            "b = np.array([1, 2])\n"
+            "c = np.fromiter(range(3), dtype=float)\n",
+        )
+
+    def test_tolist_with_args_is_not_the_ndarray_method(self, tmp_path):
+        # Some APIs spell a parameterised conversion `obj.tolist(copy)`;
+        # only the zero-arg ndarray signature is the boxing round-trip.
+        assert not lint_source(
+            tmp_path, "core/oracle.py", "def f(o):\n    return o.tolist(1)\n"
+        )
+
+
 class TestRealTree:
     def test_src_repro_is_clean(self):
         assert repolint.lint_paths([str(REPO_ROOT / "src" / "repro")]) == []

@@ -29,6 +29,15 @@ probe indirectly, so this tiny linter enforces them statically (stdlib
   nested in an async function are fine — they only block when invoked,
   which an executor does off-loop.
 
+* **RL004 — ndarray/list round-trips in hot paths.**  ``.tolist()``
+  and ``np.array(list(...))`` under ``core/`` or ``logs/`` bounce every
+  element through a Python object, silently turning a vectorized pass
+  into an O(n)-boxing one — exactly the cost the columnar store exists
+  to avoid.  Keep data in ndarrays end to end; slice, stack, or
+  ``astype`` instead.  Serialization modules (``logs/format.py``,
+  ``logs/store.py``), whose *job* is converting arrays to and from
+  interchange formats, are allowlisted.
+
 Usage::
 
     python tools/repolint.py [root ...]
@@ -71,6 +80,19 @@ BLOCKING_CALLS = (("time", "sleep"),)
 #: Modules whose *every* call is synchronous I/O (socket construction,
 #: HTTP requests, address resolution, ...) and blocks the event loop.
 BLOCKING_MODULES = frozenset({"socket", "http", "urllib", "requests"})
+
+#: Path fragments whose files must keep data in ndarrays (RL004).
+HOT_PATH_SUBTREES = (
+    os.sep + "core" + os.sep,
+    os.sep + "logs" + os.sep,
+)
+
+#: Hot-path files whose job *is* array<->interchange conversion, where
+#: ``.tolist()`` is the point, not an accident.
+SERIALIZATION_ALLOWLIST = (
+    os.sep + "logs" + os.sep + "format.py",
+    os.sep + "logs" + os.sep + "store.py",
+)
 
 
 class Finding(NamedTuple):
@@ -122,9 +144,27 @@ def _blocking_in_async(tree: ast.AST) -> Iterator[Tuple[int, str, str]]:
     yield from visit(tree, False)
 
 
+def _is_list_roundtrip(node: ast.Call) -> bool:
+    """True for ``np.array(list(...))`` / ``numpy.array(list(...))``."""
+    base, attr = _call_target(node)
+    if (base, attr) not in (("np", "array"), ("numpy", "array")):
+        return False
+    if not node.args:
+        return False
+    head = node.args[0]
+    return (
+        isinstance(head, ast.Call)
+        and isinstance(head.func, ast.Name)
+        and head.func.id == "list"
+    )
+
+
 def _check_file(path: str, source: str) -> Iterator[Finding]:
     tree = ast.parse(source, filename=path)
     deterministic = any(part in path for part in DETERMINISTIC_SUBTREES)
+    hot_path = any(part in path for part in HOT_PATH_SUBTREES) and not any(
+        part in path for part in SERIALIZATION_ALLOWLIST
+    )
     if any(part in path for part in ASYNC_SUBTREES):
         for line, base, attr in _blocking_in_async(tree):
             yield Finding(
@@ -157,6 +197,28 @@ def _check_file(path: str, source: str) -> Iterator[Finding]:
                 "subtree; use an injected timestamp or "
                 "time.perf_counter for durations" % (base, attr),
             )
+        if hot_path:
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr == "tolist" and not node.args
+            ):
+                yield Finding(
+                    path,
+                    node.lineno,
+                    "RL004",
+                    ".tolist() boxes every element into a Python object "
+                    "in a hot path; keep the data in an ndarray "
+                    "(slice/stack/astype) or move the conversion into a "
+                    "serialization module",
+                )
+            elif _is_list_roundtrip(node):
+                yield Finding(
+                    path,
+                    node.lineno,
+                    "RL004",
+                    "np.array(list(...)) round-trips through a Python "
+                    "list in a hot path; use np.asarray / np.fromiter "
+                    "or keep the source an ndarray",
+                )
 
 
 def lint_paths(roots: List[str]) -> List[Finding]:
