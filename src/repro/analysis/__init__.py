@@ -40,6 +40,24 @@ from repro.analysis.audit import (
     negate,
     paper_plan,
 )
+from repro.analysis.automata import (
+    AutomataReport,
+    Automaton,
+    Certificate,
+    Observability,
+    RuleAutomaton,
+    StateBudgetError,
+    UnsupportedFormulaError,
+    analyze_automata,
+    analyze_automata_specs,
+    compile_formula,
+    compile_rule,
+    prove_contradicts,
+    prove_implies,
+    prove_valid,
+    reduce_observables,
+    to_dot,
+)
 from repro.analysis.catalog import CATALOG, CatalogEntry, make_diagnostic
 from repro.analysis.checks import LintContext, formula_status
 from repro.analysis.diagnostics import (
@@ -58,6 +76,12 @@ from repro.analysis.intervals import (
     expr_interval,
 )
 from repro.analysis.depgraph import DependencyGraph, FlowEdge, fsracc_flow
+from repro.analysis.predicates import (
+    Alphabet,
+    AlphabetError,
+    build_alphabet,
+    dbc_environment,
+)
 from repro.analysis.margins import (
     CellMarginResult,
     MarginEnv,
@@ -73,15 +97,19 @@ from repro.analysis.margins import (
 )
 from repro.analysis.schema import (
     AUDIT_SCHEMA_VERSION,
+    AUTOMATA_SCHEMA_VERSION,
     MARGINS_SCHEMA_VERSION,
     SCHEMA_VERSION,
     build_audit_report,
+    build_automata_report,
     build_margins_report,
     build_report,
     require_valid_audit_report,
+    require_valid_automata_report,
     require_valid_margins_report,
     require_valid_report,
     validate_audit_report,
+    validate_automata_report,
     validate_margins_report,
     validate_report,
 )
@@ -89,11 +117,17 @@ from repro.analysis.schema import (
 __all__ = [
     "ALWAYS",
     "AUDIT_SCHEMA_VERSION",
+    "AUTOMATA_SCHEMA_VERSION",
+    "Alphabet",
+    "AlphabetError",
     "AuditReport",
+    "AutomataReport",
+    "Automaton",
     "CATALOG",
     "CampaignPlan",
     "CatalogEntry",
     "CellMarginResult",
+    "Certificate",
     "DependencyGraph",
     "Diagnostic",
     "FlowEdge",
@@ -104,22 +138,33 @@ __all__ = [
     "MarginEnv",
     "MarginReport",
     "NEVER",
+    "Observability",
+    "RuleAutomaton",
     "RuleMarginResult",
     "SCHEMA_VERSION",
     "Severity",
+    "StateBudgetError",
+    "UnsupportedFormulaError",
+    "analyze_automata",
+    "analyze_automata_specs",
     "analyze_margins",
     "analyze_margins_specs",
     "audit_rules",
     "audit_specs",
+    "build_alphabet",
     "build_audit_report",
+    "build_automata_report",
     "build_context",
     "build_margins_report",
     "build_report",
     "cell_env",
     "compare",
+    "compile_formula",
+    "compile_rule",
     "contradicts",
     "count_by_severity",
     "database_env",
+    "dbc_environment",
     "expr_interval",
     "expr_margin",
     "formula_margin",
@@ -134,12 +179,19 @@ __all__ = [
     "margin_env",
     "negate",
     "paper_plan",
+    "prove_contradicts",
+    "prove_implies",
+    "prove_valid",
+    "reduce_observables",
     "require_valid_audit_report",
+    "require_valid_automata_report",
     "require_valid_margins_report",
     "require_valid_report",
     "rule_margin",
     "sort_diagnostics",
+    "to_dot",
     "validate_audit_report",
+    "validate_automata_report",
     "validate_margins_report",
     "validate_report",
 ]

@@ -19,6 +19,15 @@ per report section:
   (injection x rule) cells, unknown checker profiles, and monitor
   periods that undersample rule-referenced signals.
 
+The symbolic automata pass (:mod:`repro.analysis.automata`) backs two
+more layers: when the syntactic prover answers "unknown" on a pair or
+vacuity question, the decision procedure retries it on the compiled
+product automaton (same AU101/AU102/AU103 codes, message marked as a
+decision-procedure proof), and every rule gets a monitorability
+certificate cross-checked against the online monitor's conservative
+horizon (``AU6xx``: no finite decision horizon, over-provisioned
+buffering, or an uncertifiable rule).
+
 The static margin prover (:mod:`repro.analysis.margins`) adds the
 quantitative ``AU5xx`` findings on top: provably unfalsifiable rules
 (positive static lower margin) and tight-margin hotspots in the rules
@@ -39,10 +48,18 @@ negation rewrites comparisons classically (``not (x < 5)`` becomes
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.analyzer import database_env
+from repro.analysis.automata import (
+    PROVED,
+    compile_rule,
+    prove_contradicts,
+    prove_implies,
+    prove_valid,
+)
 from repro.analysis.catalog import make_diagnostic
 from repro.analysis.checks import formula_status
 from repro.analysis.depgraph import DependencyGraph
@@ -52,7 +69,8 @@ from repro.analysis.diagnostics import (
     has_errors,
     sort_diagnostics,
 )
-from repro.analysis.intervals import ALWAYS, Interval, MAYBE, NEVER
+from repro.analysis.intervals import ALWAYS, Interval, MAYBE, NEVER, intersect
+from repro.analysis.predicates import dbc_environment
 from repro.core.ast import (
     Always,
     And,
@@ -67,6 +85,7 @@ from repro.core.ast import (
     Not,
     Once,
     Or,
+    SignalRef,
 )
 from repro.core.monitor import DEFAULT_PERIOD
 from repro.core.statemachine import StateMachine
@@ -236,6 +255,90 @@ def _comparison_implies(a: Comparison, b: Comparison) -> bool:
     )
 
 
+def _comparison_constraint(
+    formula: Formula,
+) -> Optional[Tuple[str, Interval]]:
+    """The satisfying interval of a bare ``signal OP constant``
+    comparison (either orientation), or ``None``.
+
+    Intervals are closed, so strict bounds are *widened* by keeping the
+    endpoint: the result over-approximates the satisfying set, which is
+    the sound direction for both uses below (a superset that still
+    forces ``b`` true, or a superset that is still empty).
+    """
+    if not isinstance(formula, Comparison):
+        return None
+    if isinstance(formula.left, SignalRef) and isinstance(
+        formula.right, Constant
+    ):
+        name, op, bound = formula.left.name, formula.op, formula.right.value
+    elif isinstance(formula.right, SignalRef) and isinstance(
+        formula.left, Constant
+    ):
+        mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+        if formula.op not in mirrored:
+            return None
+        name, op, bound = (
+            formula.right.name,
+            mirrored[formula.op],
+            formula.left.value,
+        )
+    else:
+        return None
+    inf = math.inf
+    if op in ("<", "<="):
+        return name, Interval(-inf, bound)
+    if op in (">", ">="):
+        return name, Interval(bound, inf)
+    if op == "==":
+        return name, Interval(bound, bound)
+    return None  # != constrains nothing representable as one interval
+
+
+def _refine_env(
+    a: Formula, env: Mapping[str, Interval]
+) -> Tuple[Optional[Mapping[str, Interval]], bool]:
+    """Intersect every bare-signal comparison conjunct of ``a`` into
+    ``env``.
+
+    Returns ``(refined_env, contradictory)``.  ``contradictory`` means
+    some signal's constraints have an empty intersection, so no in-range
+    row satisfies ``a`` at all.  ``refined_env`` is ``None`` when no
+    conjunct narrowed anything.
+
+    This is the re-seeding step the pairwise decomposition used to miss:
+    ``implies(And(x >= 2, y >= 4), x + y > 5)`` recursed into each
+    conjunct separately, so the compound consequent — decidable only
+    under the *joint* refinement — always came back unknown.
+    """
+    refined: Dict[str, Interval] = {}
+    contradictory = False
+    stack = [a]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            stack.append(node.left)
+            stack.append(node.right)
+            continue
+        constraint = _comparison_constraint(node)
+        if constraint is None:
+            continue
+        name, interval = constraint
+        known = refined.get(name, env.get(name))
+        narrowed = (
+            interval if known is None else intersect(known, interval)
+        )
+        if narrowed is None:
+            contradictory = True
+            break
+        refined[name] = narrowed
+    if not refined and not contradictory:
+        return None, False
+    merged = dict(env)
+    merged.update(refined)
+    return merged, contradictory
+
+
 def implies(
     a: Formula,
     b: Formula,
@@ -283,6 +386,15 @@ def implies(
         if implies(a.left, b, env, _depth + 1) or implies(
             a.right, b, env, _depth + 1
         ):
+            return True
+        # Re-seed the environment with the conjuncts' joint ranges: a
+        # compound consequent (x + y > 5) is invisible to the pairwise
+        # decomposition above but decidable once every conjunct's
+        # interval is intersected in (see _refine_env).
+        refined, contradictory = _refine_env(a, env)
+        if contradictory:
+            return True  # unsatisfiable antecedent implies anything
+        if refined is not None and formula_status(b, refined) == ALWAYS:
             return True
     if isinstance(b, Or):
         if implies(a, b.left, env, _depth + 1) or implies(
@@ -406,10 +518,12 @@ class AuditReport:
                 lines.append("  %s" % diagnostic.format())
         summary = self.summary
         lines.append(
-            "summary: %d rule(s), %d signal(s) (%d monitored), "
-            "%d planned test(s), %d statically dead, %d prunable cell(s)"
+            "summary: %d rule(s) (%d certified), %d signal(s) "
+            "(%d monitored), %d planned test(s), %d statically dead, "
+            "%d prunable cell(s)"
             % (
                 summary.get("rules", 0),
+                summary.get("certified_rules", 0),
                 summary.get("signals", 0),
                 summary.get("monitored_signals", 0),
                 summary.get("tests", 0),
@@ -425,8 +539,69 @@ class AuditReport:
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _ProverContext:
+    """Everything the decision-procedure fallback needs beyond ``env``.
+
+    The syntactic prover stays first (it is cheap and its messages name
+    the entailment shape); the automata prover only retries questions
+    the syntactic pass left unknown, so findings never duplicate.
+    """
+
+    machines: Tuple[StateMachine, ...] = ()
+    bool_signals: FrozenSet[str] = frozenset()
+    period: float = DEFAULT_PERIOD
+
+
+def _automata_contradicts(
+    a: Formula, b: Formula, env: Mapping[str, Interval], ctx: _ProverContext
+) -> bool:
+    try:
+        return (
+            prove_contradicts(
+                a, b, machines=ctx.machines, env=env,
+                bool_signals=ctx.bool_signals, period=ctx.period,
+            )
+            == PROVED
+        )
+    except Exception:
+        return False  # the fallback must never break the audit
+
+
+def _automata_implies(
+    a: Formula, b: Formula, env: Mapping[str, Interval], ctx: _ProverContext
+) -> bool:
+    try:
+        return (
+            prove_implies(
+                a, b, machines=ctx.machines, env=env,
+                bool_signals=ctx.bool_signals, period=ctx.period,
+            )
+            == PROVED
+        )
+    except Exception:
+        return False
+
+
+def _automata_valid(
+    formula: Formula, env: Mapping[str, Interval], ctx: _ProverContext
+) -> bool:
+    try:
+        return (
+            prove_valid(
+                formula, machines=ctx.machines, env=env,
+                bool_signals=ctx.bool_signals, period=ctx.period,
+            )
+            == PROVED
+        )
+    except Exception:
+        return False
+
+
 def _rule_pair_checks(
-    rules: Sequence, env: Mapping[str, Interval]
+    rules: Sequence,
+    env: Mapping[str, Interval],
+    ctx: _ProverContext = _ProverContext(),
 ) -> List[Diagnostic]:
     findings: List[Diagnostic] = []
     # Contradiction and subsumption are only meaningful between rules
@@ -461,12 +636,35 @@ def _rule_pair_checks(
                         )
                     )
                     continue
-                findings.extend(_subsumption_pair(rule_a, rule_b, env))
+                if _automata_contradicts(
+                    rule_a.formula, rule_b.formula, env, ctx
+                ):
+                    findings.append(
+                        make_diagnostic(
+                            "AU101",
+                            "rule %s" % rule_a.rule_id,
+                            "contradicts rule %s by decision procedure: "
+                            "the product automaton of both formulas "
+                            "accepts no in-range trace" % rule_b.rule_id,
+                            suggestion=(
+                                "every gated row will violate one of the "
+                                "two; reconcile the bounds or split the "
+                                "gates"
+                            ),
+                        )
+                    )
+                    continue
+                findings.extend(
+                    _subsumption_pair(rule_a, rule_b, env, ctx)
+                )
     return findings
 
 
 def _subsumption_pair(
-    rule_a, rule_b, env: Mapping[str, Interval]
+    rule_a,
+    rule_b,
+    env: Mapping[str, Interval],
+    ctx: _ProverContext = _ProverContext(),
 ) -> List[Diagnostic]:
     if rule_a.formula == rule_b.formula:
         # Identical bodies are SL702's finding, not subsumption.
@@ -490,11 +688,27 @@ def _subsumption_pair(
                     ),
                 )
             ]
+        if _automata_implies(strong.formula, weak.formula, env, ctx):
+            return [
+                make_diagnostic(
+                    "AU102",
+                    "rule %s" % weak.rule_id,
+                    "subsumed by rule %s by decision procedure: the "
+                    "automaton for (%s and not %s) accepts no in-range "
+                    "trace, so this rule adds no detection power"
+                    % (strong.rule_id, strong.rule_id, weak.rule_id),
+                    suggestion=(
+                        "tighten this rule's bound or drop it from the set"
+                    ),
+                )
+            ]
     return []
 
 
 def _vacuity_checks(
-    rules: Sequence, env: Mapping[str, Interval]
+    rules: Sequence,
+    env: Mapping[str, Interval],
+    ctx: _ProverContext = _ProverContext(),
 ) -> List[Diagnostic]:
     findings = []
     for rule in rules:
@@ -509,6 +723,100 @@ def _vacuity_checks(
                     suggestion="tighten the bound below the DBC range",
                 )
             )
+        elif _automata_valid(rule.effective_formula(), env, ctx):
+            findings.append(
+                make_diagnostic(
+                    "AU103",
+                    "rule %s" % rule.rule_id,
+                    "effective formula is valid by decision procedure: "
+                    "the automaton for its negation accepts no in-range "
+                    "trace, so the rule cannot detect in-specification "
+                    "misbehaviour",
+                    suggestion="tighten the bound below the DBC range",
+                )
+            )
+    return findings
+
+
+def _monitorability_checks(
+    rules: Sequence,
+    env: Mapping[str, Interval],
+    ctx: _ProverContext,
+    summary: Dict[str, int],
+) -> List[Diagnostic]:
+    """AU6xx — certificates from the symbolic automata pass, each
+    cross-checked against the online monitor's conservative horizon."""
+    findings: List[Diagnostic] = []
+    certified = 0
+    for rule in rules:
+        compiled = compile_rule(
+            rule,
+            machines=ctx.machines,
+            env=env,
+            bool_signals=ctx.bool_signals,
+            period=ctx.period,
+        )
+        if compiled.status != "ok":
+            findings.append(
+                make_diagnostic(
+                    "AU603",
+                    "rule %s" % rule.rule_id,
+                    "no monitorability certificate: automata compilation "
+                    "%s (%s), so the online monitor's bounded-horizon "
+                    "adequacy is assumed, not proved"
+                    % (
+                        "exceeded its budget"
+                        if compiled.status == "budget"
+                        else "is unsupported",
+                        compiled.reason,
+                    ),
+                    suggestion=(
+                        "rewrite the rule in the supported fragment or "
+                        "raise the automata budgets"
+                    ),
+                )
+            )
+            continue
+        certified += 1
+        certificate = compiled.certificate
+        assert certificate is not None
+        if certificate.horizon_rows is None:
+            findings.append(
+                make_diagnostic(
+                    "AU601",
+                    "rule %s" % rule.rule_id,
+                    "no finite decision horizon (class %s): some traces "
+                    "keep the verdict UNKNOWN forever, so the online "
+                    "monitor's bounded lookahead cannot decide the rule"
+                    % certificate.classification,
+                    suggestion=(
+                        "bound the temporal windows, or accept that the "
+                        "monitor only ever reports partial verdicts"
+                    ),
+                )
+            )
+        elif (
+            compiled.monitor_horizon_rows is not None
+            and certificate.horizon_rows < compiled.monitor_horizon_rows
+        ):
+            findings.append(
+                make_diagnostic(
+                    "AU602",
+                    "rule %s" % rule.rule_id,
+                    "monitor horizon over-provisioned: the automaton "
+                    "decides every trace within %d row(s) but the online "
+                    "monitor buffers %d"
+                    % (
+                        certificate.horizon_rows,
+                        compiled.monitor_horizon_rows,
+                    ),
+                    suggestion=(
+                        "verdict latency and memory can shrink to the "
+                        "certified horizon"
+                    ),
+                )
+            )
+    summary["certified_rules"] = certified
     return findings
 
 
@@ -904,6 +1212,12 @@ def audit_rules(
     rules = list(rules)
     machines = list(machines)
     env = database_env(database)
+    _, bool_signals = dbc_environment(database)
+    ctx = _ProverContext(
+        machines=tuple(machines),
+        bool_signals=bool_signals,
+        period=period,
+    )
     graph = DependencyGraph(database, rules, machines)
 
     summary: Dict[str, int] = {
@@ -920,6 +1234,7 @@ def audit_rules(
         "provably_safe_rules": 0,
         "margin_prunable_cells": 0,
         "doomed_cells": 0,
+        "certified_rules": 0,
     }
 
     from repro.analysis.margins import margin_env, rule_margin
@@ -935,8 +1250,9 @@ def audit_rules(
         1 for interval in rule_margins.values() if interval.lo > 0
     )
 
-    rule_findings = _rule_pair_checks(rules, env)
-    rule_findings.extend(_vacuity_checks(rules, env))
+    rule_findings = _rule_pair_checks(rules, env, ctx)
+    rule_findings.extend(_vacuity_checks(rules, env, ctx))
+    rule_findings.extend(_monitorability_checks(rules, env, ctx, summary))
     rule_findings.extend(_coverage_overlap_checks(graph))
     rule_findings.extend(_margin_rule_checks(rule_margins))
 

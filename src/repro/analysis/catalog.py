@@ -28,7 +28,10 @@ owns the ``AU`` range:
   rates, unexercised rules);
 * ``AU5xx`` — quantitative margin findings from the static robustness
   prover (:mod:`repro.analysis.margins`): provably unfalsifiable rules,
-  statically doomed campaign cells, tight-margin hotspots.
+  statically doomed campaign cells, tight-margin hotspots;
+* ``AU6xx`` — monitorability certificates from the symbolic automata
+  pass (:mod:`repro.analysis.automata`): rules no finite horizon can
+  decide, over-provisioned online buffers, uncertifiable rules.
 """
 
 from __future__ import annotations
@@ -426,6 +429,42 @@ CATALOG: Dict[str, CatalogEntry] = {
             "float rounding) may be hiding a falsifiable rule.",
             "formula = Velocity < 120.5 with Velocity in [-10, 120] "
             "(margin 0.5)",
+        ),
+        _entry(
+            "AU601",
+            Severity.ERROR,
+            "rule has no finite decision horizon",
+            "The compiled automaton contains a cycle that never resolves "
+            "to a verdict, so no bounded online horizon — including the "
+            "one the monitor derives from future_reach — can decide the "
+            "rule on every trace.  The online monitor will emit UNKNOWN "
+            "forever on some inputs.",
+            "formula = always (BrakeRequested -> eventually "
+            "RequestedDecel < 0) with an unbounded eventually",
+        ),
+        _entry(
+            "AU602",
+            Severity.INFO,
+            "monitor horizon over-provisioned",
+            "The exact decision horizon from the symbolic automaton is "
+            "strictly smaller than the conservative horizon the online "
+            "monitor configures from future_reach, so the monitor buffers "
+            "more rows (and delays verdicts longer) than the rule "
+            "requires.",
+            "formula = always[0, 0.1] (p -> q) decided in 1 row while "
+            "the monitor buffers 6",
+        ),
+        _entry(
+            "AU603",
+            Severity.WARNING,
+            "monitorability not certified",
+            "The symbolic automata pass could not compile the rule "
+            "(unsupported operator, predicate-alphabet budget, or state "
+            "budget), so no monitorability certificate exists and the "
+            "bounded-horizon adequacy of the online monitor is only "
+            "assumed, not proved.",
+            "formula mixing once/historically with 14 distinct "
+            "comparison atoms",
         ),
     )
 }

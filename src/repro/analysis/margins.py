@@ -388,8 +388,11 @@ def _window_margin(
     * a max-window (eventually/once) is the mirror image.
 
     Windows too tight to contain a sample raise dynamically; TOP is the
-    sound answer for an analysis that must not raise.
+    sound answer for an analysis that must not raise.  So is an
+    unbounded window: its row count cannot be materialised at all.
     """
+    if not math.isfinite(hi):
+        return TOP
     try:
         lo_idx, hi_idx = bounds_to_rows(lo, hi, period)
     except EvaluationError:

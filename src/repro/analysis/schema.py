@@ -61,6 +61,9 @@ AUDIT_SCHEMA_VERSION = "repro.audit/v1"
 #: Identifier of the static margin-prover report format.
 MARGINS_SCHEMA_VERSION = "repro.margins/v1"
 
+#: Identifier of the symbolic-automata report format.
+AUTOMATA_SCHEMA_VERSION = "repro.automata/v1"
+
 #: Section keys of an audit target, in order (one per analysis family).
 AUDIT_SECTIONS = ("rules", "coverage", "plan")
 
@@ -455,4 +458,194 @@ def require_valid_margins_report(report: object) -> Dict[str, object]:
     problems = validate_margins_report(report)
     if problems:
         raise ValueError("invalid margins report: %s" % "; ".join(problems))
+    return report  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# The symbolic-automata report format (repro.automata/v1)
+# ----------------------------------------------------------------------
+#
+# ``repro automata --format json`` emits one report object — the single
+# analysis target flattened into the envelope like ``repro.margins/v1``::
+#
+#     {
+#       "schema": "repro.automata/v1",
+#       "name": "paper rules (strict)",
+#       "period": 0.02,
+#       "rules": [{"rule": "rule2", "name": "...", "status": "ok",
+#                  "reason": "", "class": "bounded", "safety": true,
+#                  "co_safety": true, "horizon_rows": 1,
+#                  "monitor_horizon_rows": 1, "states": 3, "letters": 4,
+#                  "atoms": ["BrakeRequested", "RequestedDecel <= 0"],
+#                  "satisfiable": "yes", "falsifiable": "yes",
+#                  "observability": {"referenced": [...],
+#                                    "required": [...],
+#                                    "droppable": [...]}}, ...],
+#       "summary": {"rules": 7, "bounded": 7, "safety": 0,
+#                   "co-safety": 0, "neither": 0, "unsupported": 0}
+#     }
+#
+# ``status`` is "ok" | "unsupported" | "budget"; every certificate field
+# ("class" through "observability") is null for a non-"ok" entry.
+
+_AUTOMATA_STATUSES = ("ok", "unsupported", "budget")
+_AUTOMATA_CLASSES = ("bounded", "safety", "co-safety", "neither")
+_TRI_STATE = ("yes", "no", "unknown")
+_AUTOMATA_SUMMARY_KEYS = (
+    "rules", "bounded", "safety", "co-safety", "neither", "unsupported",
+)
+
+
+def build_automata_report(report) -> Dict[str, object]:
+    """Assemble the JSON report for one :class:`~repro.analysis.automata.
+    AutomataReport` (anything exposing ``to_dict()`` works)."""
+    dump = dict(report.to_dict())
+    dump["schema"] = AUTOMATA_SCHEMA_VERSION
+    return dump
+
+
+def _validate_rule_automaton(entry: object) -> List[str]:
+    if not isinstance(entry, dict):
+        return ["rule entries must be objects"]
+    problems = []
+    owner = "rule %r" % entry.get("rule")
+    for key in ("rule", "name", "reason"):
+        if not isinstance(entry.get(key), str):
+            problems.append("%s needs a string %r" % (owner, key))
+    status = entry.get("status")
+    if status not in _AUTOMATA_STATUSES:
+        problems.append(
+            "%s status %r is not one of %s"
+            % (owner, status, "/".join(_AUTOMATA_STATUSES))
+        )
+    compiled = status == "ok"
+    klass = entry.get("class")
+    if compiled:
+        if klass not in _AUTOMATA_CLASSES:
+            problems.append(
+                "%s class %r is not one of %s"
+                % (owner, klass, "/".join(_AUTOMATA_CLASSES))
+            )
+        for key in ("safety", "co_safety"):
+            if not isinstance(entry.get(key), bool):
+                problems.append("%s needs a boolean %r" % (owner, key))
+        for key in ("states", "letters"):
+            value = entry.get(key)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                problems.append(
+                    "%s %r must be a positive integer" % (owner, key)
+                )
+    elif klass is not None:
+        problems.append("%s is not compiled but declares a class" % owner)
+    for key in ("horizon_rows", "monitor_horizon_rows"):
+        value = entry.get(key)
+        if value is not None and (
+            not isinstance(value, int)
+            or isinstance(value, bool)
+            or value < 0
+        ):
+            problems.append(
+                "%s %r must be a non-negative integer or null" % (owner, key)
+            )
+    for key in ("satisfiable", "falsifiable"):
+        if entry.get(key) not in _TRI_STATE:
+            problems.append(
+                "%s %r must be one of %s"
+                % (owner, key, "/".join(_TRI_STATE))
+            )
+    atoms = entry.get("atoms")
+    if not (
+        isinstance(atoms, list) and all(isinstance(a, str) for a in atoms)
+    ):
+        problems.append("%s needs a string array 'atoms'" % owner)
+    observability = entry.get("observability")
+    if compiled:
+        if not isinstance(observability, dict):
+            problems.append("%s needs an 'observability' object" % owner)
+        else:
+            sets = {}
+            for key in ("referenced", "required", "droppable"):
+                names = observability.get(key)
+                if not (
+                    isinstance(names, list)
+                    and all(isinstance(n, str) for n in names)
+                ):
+                    problems.append(
+                        "%s observability %r must be a string array"
+                        % (owner, key)
+                    )
+                else:
+                    sets[key] = set(names)
+            if len(sets) == 3 and sets["required"] | sets["droppable"] != sets[
+                "referenced"
+            ]:
+                problems.append(
+                    "%s observability sets do not partition 'referenced'"
+                    % owner
+                )
+    elif observability is not None:
+        problems.append(
+            "%s is not compiled but declares observability" % owner
+        )
+    return problems
+
+
+def validate_automata_report(report: object) -> List[str]:
+    """All the ways ``report`` fails to be a valid automata report."""
+    if not isinstance(report, dict):
+        return ["report must be a JSON object, got %s" % type(report).__name__]
+    problems: List[str] = []
+    if report.get("schema") != AUTOMATA_SCHEMA_VERSION:
+        problems.append(
+            "schema must be %r, got %r"
+            % (AUTOMATA_SCHEMA_VERSION, report.get("schema"))
+        )
+    if not isinstance(report.get("name"), str):
+        problems.append("report needs a string 'name'")
+    period = report.get("period")
+    if not isinstance(period, (int, float)) or isinstance(period, bool):
+        problems.append("report 'period' must be a number")
+    elif period <= 0:
+        problems.append("period must be positive")
+    rules = report.get("rules")
+    if not isinstance(rules, list):
+        return problems + ["report needs a 'rules' array"]
+    counted = {key: 0 for key in _AUTOMATA_SUMMARY_KEYS}
+    counted["rules"] = len(rules)
+    for entry in rules:
+        problems.extend(_validate_rule_automaton(entry))
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("status") != "ok":
+            counted["unsupported"] += 1
+        elif entry.get("class") in _AUTOMATA_CLASSES:
+            counted[entry["class"]] += 1
+    summary = report.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("report needs a 'summary' object")
+    else:
+        for key, value in summary.items():
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(
+                    "summary %r must be a non-negative integer" % key
+                )
+        if not problems:
+            for key in _AUTOMATA_SUMMARY_KEYS:
+                if summary.get(key) != counted[key]:
+                    problems.append(
+                        "summary declares %r %s but the report lists %d"
+                        % (summary.get(key), key, counted[key])
+                    )
+    return problems
+
+
+def require_valid_automata_report(report: object) -> Dict[str, object]:
+    """Validate and return ``report``; raise ``ValueError`` otherwise."""
+    problems = validate_automata_report(report)
+    if problems:
+        raise ValueError("invalid automata report: %s" % "; ".join(problems))
     return report  # type: ignore[return-value]

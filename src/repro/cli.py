@@ -274,6 +274,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "aggregate"
         ),
     )
+    replay_cmd.add_argument(
+        "--observability",
+        action="store_true",
+        help=(
+            "attach the symbolic-automata minimal observable-signal "
+            "hint: every rollup entry gains an 'observability' block "
+            "(required/droppable partition and bandwidth hint), plus a "
+            "fleet-level union"
+        ),
+    )
     replay_cmd.set_defaults(handler=_cmd_fleet_replay)
 
     lint_cmd = sub.add_parser(
@@ -411,6 +421,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="monitor sampling period in seconds (default: plan period)",
     )
     margins_cmd.set_defaults(handler=_cmd_margins)
+
+    automata_cmd = sub.add_parser(
+        "automata",
+        help=(
+            "symbolic monitor automata: per-rule monitorability "
+            "certificates (safety/co-safety class, exact decision "
+            "horizon vs the online monitor's) and minimal "
+            "observable-signal sets"
+        ),
+    )
+    automata_cmd.add_argument(
+        "files",
+        nargs="*",
+        help=(
+            ".rules files to compile; with no files the bundled paper "
+            "rules are compiled"
+        ),
+    )
+    automata_cmd.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="compile the relaxed paper-rule variants (no effect with files)",
+    )
+    automata_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text; json is repro.automata/v1)",
+    )
+    automata_cmd.add_argument(
+        "--out", default=None, help="also write the report here"
+    )
+    automata_cmd.add_argument(
+        "--dot-dir",
+        default=None,
+        help=(
+            "write one Graphviz .dot file per compiled rule into this "
+            "directory (created if missing)"
+        ),
+    )
+    automata_cmd.add_argument(
+        "--period",
+        type=float,
+        default=None,
+        help="monitor sampling period in seconds (default: 0.02)",
+    )
+    automata_cmd.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="state budget per automaton (default 20000)",
+    )
+    automata_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit non-zero when any compiled rule is 'neither' safety "
+            "nor co-safety (no finite horizon decides it)"
+        ),
+    )
+    automata_cmd.set_defaults(handler=_cmd_automata)
 
     repro_cmd = sub.add_parser(
         "reproduce",
@@ -750,6 +821,7 @@ def _cmd_fleet_replay(args: argparse.Namespace) -> int:
         policy=args.policy,
         status_port=args.status_port,
         robustness=args.robustness,
+        observability=args.observability,
     )
     rollup = require_valid_fleet_snapshot(report.rollup)
     if args.rollup_out:
@@ -910,6 +982,71 @@ def _cmd_margins(args: argparse.Namespace) -> int:
             handle.write("\n")
         _progress("falsification seeds written to %s" % args.seeds_out)
     return 0
+
+
+def _cmd_automata(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import (
+        analyze_automata_specs,
+        build_automata_report,
+        to_dot,
+    )
+    from repro.analysis.automata import DEFAULT_STATE_BUDGET
+
+    max_states = (
+        args.max_states if args.max_states is not None else DEFAULT_STATE_BUDGET
+    )
+    if max_states < 1:
+        print("automata: --max-states must be positive", file=sys.stderr)
+        return 2
+
+    if args.files:
+        targets = [
+            (path, _load_specset(path, relaxed=False)) for path in args.files
+        ]
+    else:
+        variant = "relaxed" if args.relaxed else "strict"
+        targets = [("paper rules (%s)" % variant, paper_specset(args.relaxed))]
+
+    reports = [
+        analyze_automata_specs(
+            specs,
+            period=args.period,
+            target=name,
+            max_states=max_states,
+        )
+        for name, specs in targets
+    ]
+
+    if args.format == "json":
+        dumps = [build_automata_report(report) for report in reports]
+        text = json.dumps(
+            dumps[0] if len(dumps) == 1 else dumps, indent=2, sort_keys=True
+        )
+    else:
+        text = "\n\n".join(report.format_text() for report in reports)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        _progress("report written to %s" % args.out)
+
+    if args.dot_dir:
+        os.makedirs(args.dot_dir, exist_ok=True)
+        written = 0
+        for report in reports:
+            for entry in report.rules:
+                if entry.automaton is None:
+                    continue
+                path = os.path.join(args.dot_dir, "%s.dot" % entry.rule_id)
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(to_dot(entry.automaton, entry.rule_id) + "\n")
+                written += 1
+        _progress("%d automaton graph(s) written to %s" % (written, args.dot_dir))
+
+    failed = any(report.failed for report in reports)
+    return 1 if failed and args.strict else 0
 
 
 def _cmd_trace_help(args: argparse.Namespace) -> int:

@@ -156,6 +156,34 @@ class Formula:
         """Direct child nodes (operands, in field order)."""
         return _node_children(self)
 
+    def atoms(self) -> Tuple["Formula", ...]:
+        """Atomic subformulas, deduplicated, in first-occurrence order.
+
+        An *atom* is a formula whose truth at a row depends only on
+        that row's values, freshness and machine state — comparisons,
+        boolean signal reads, ``fresh()`` and ``in_state()``.  This is
+        the alphabet-extraction hook for the symbolic automata
+        compiler: letters of the compiled automaton are truth
+        assignments to exactly these nodes.
+        """
+        out = []
+        seen = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ATOMIC_FORMULAS):
+                if node not in seen:
+                    seen.add(node)
+                    out.append(node)
+                continue
+            children = [
+                child
+                for child in node.children()
+                if isinstance(child, Formula)
+            ]
+            stack.extend(reversed(children))
+        return tuple(out)
+
 
 @dataclass(frozen=True)
 class BoolConst(Formula):
@@ -454,6 +482,11 @@ def _install_structural_cache(cls: type) -> None:
     cls.__hash__ = __hash__
     cls.__getstate__ = __getstate__
     cls.__setstate__ = __setstate__
+
+
+#: Formula classes whose truth depends only on the current row (given
+#: machine state): the predicate-alphabet atoms of the automata pass.
+ATOMIC_FORMULAS = (SignalPredicate, Fresh, Comparison, InState)
 
 
 for _cls in (

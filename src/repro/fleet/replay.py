@@ -71,6 +71,7 @@ async def replay_traces_async(
     policy: str = "block",
     status_port: Optional[int] = None,
     robustness: bool = False,
+    observability: bool = False,
 ) -> FleetReport:
     """Replay ``traces`` across ``streams`` monitor streams.
 
@@ -87,6 +88,7 @@ async def replay_traces_async(
         inbox_events=inbox_events,
         policy=policy,
         robustness=robustness,
+        observability=observability,
     )
     status = None
     if status_port is not None:

@@ -51,6 +51,35 @@ def _fleet_margins(
     }
 
 
+def _fleet_observability(
+    entries: Iterable[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """Fleet-wide bandwidth hint: a signal is droppable only when *no*
+    reporting stream requires it (order-independent union).  ``None``
+    when no shard runs the observability pass."""
+    referenced: set = set()
+    required: set = set()
+    reporting = False
+    for entry in entries:
+        block = entry.get("observability")
+        if block is None:
+            continue
+        reporting = True
+        referenced |= set(block["referenced"])
+        required |= set(block["required"])
+    if not reporting:
+        return None
+    droppable = sorted(referenced - required)
+    return {
+        "referenced": sorted(referenced),
+        "required": sorted(required),
+        "droppable": droppable,
+        "bandwidth_hint": (
+            len(droppable) / len(referenced) if referenced else 0.0
+        ),
+    }
+
+
 def fleet_rollup(
     shards: Iterable[StreamShard],
     service_registry: Optional[MetricsRegistry] = None,
@@ -88,6 +117,7 @@ def fleet_rollup(
             "late_events": late,
             "peak_buffer_rows": peak,
             "margins": _fleet_margins(margin_shards),
+            "observability": _fleet_observability(streams.values()),
             "backpressure": {
                 "dropped": _merged_counter(merged, "fleet.backpressure_dropped"),
                 "blocked": _merged_counter(merged, "fleet.backpressure_blocked"),

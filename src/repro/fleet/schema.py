@@ -20,6 +20,10 @@ A rollup is one JSON object::
           "letters": {"<rule id>": "S"|"V", ...} | null,   # null while live
           "margins": {"<rule id>": {"lower": <json float>,
                                     "upper": <json float>}, ...} | null,
+          "observability": {"referenced": [<signal>, ...],
+                            "required": [<signal>, ...],
+                            "droppable": [<signal>, ...],
+                            "bandwidth_hint": <number in [0, 1]>} | null,
           "metrics": <repro.obs/v1 snapshot>
         }, ...
       },
@@ -31,6 +35,7 @@ A rollup is one JSON object::
         "late_events": <int>,
         "peak_buffer_rows": <int>,        # max over streams
         "margins": {...} | null,          # per-rule pointwise min over streams
+        "observability": {...} | null,    # union over reporting streams
         "backpressure": {"dropped": <int>, "blocked": <int>},
         "metrics": <repro.obs/v1 snapshot> # all shards + service, merged
       }
@@ -41,6 +46,14 @@ Per-stream ``margins`` is null unless the shard runs with
 strings for the infinities, per ``repro.core.robustness.float_to_json``)
 with ``lower <= upper``.  The fleet-level block is the per-rule
 pointwise minimum over reporting streams — the fleet's worst margin.
+
+Per-stream ``observability`` is null unless the shard runs with
+``observability=True``: the symbolic automata pass's minimal
+observable-signal set unioned over the shard's rules
+(``required`` and ``droppable`` partition ``referenced``;
+``bandwidth_hint`` is the droppable fraction).  The fleet-level block
+unions the reporting streams — a signal is fleet-droppable only when no
+stream requires it.
 
 Per-stream ``metrics`` are full ``repro.obs/v1`` snapshots (validated by
 :func:`repro.obs.validate_snapshot`); the fleet-level ``metrics`` object
@@ -119,6 +132,9 @@ def validate_fleet_snapshot(snapshot: object) -> List[str]:
             % (fleet["streams"], len(streams))
         )
     problems.extend(_validate_margins("fleet", fleet.get("margins")))
+    problems.extend(
+        _validate_observability("fleet", fleet.get("observability"))
+    )
     backpressure = fleet.get("backpressure")
     if not isinstance(backpressure, dict):
         problems.append("fleet needs a 'backpressure' object")
@@ -165,6 +181,41 @@ def _validate_margins(where: str, margins: object) -> List[str]:
     return problems
 
 
+def _validate_observability(where: str, block: object) -> List[str]:
+    """``observability`` blocks are null or the signal-set partition."""
+    if block is None:
+        return []
+    if not isinstance(block, dict):
+        return ["%s 'observability' must be null or an object" % where]
+    problems: List[str] = []
+    sets: Dict[str, set] = {}
+    for key in ("referenced", "required", "droppable"):
+        names = block.get(key)
+        if not (
+            isinstance(names, list)
+            and all(isinstance(name, str) for name in names)
+        ):
+            problems.append(
+                "%s observability %r must be a string array" % (where, key)
+            )
+        else:
+            sets[key] = set(names)
+    if (
+        len(sets) == 3
+        and sets["required"] | sets["droppable"] != sets["referenced"]
+    ):
+        problems.append(
+            "%s observability sets do not partition 'referenced'" % where
+        )
+    hint = block.get("bandwidth_hint")
+    if not _is_number(hint) or not 0.0 <= hint <= 1.0:
+        problems.append(
+            "%s observability 'bandwidth_hint' must be a number in [0, 1]"
+            % where
+        )
+    return problems
+
+
 def _validate_stream(stream_id: str, entry: object) -> List[str]:
     where = "stream %r" % stream_id
     if not isinstance(entry, dict):
@@ -195,6 +246,9 @@ def _validate_stream(stream_id: str, entry: object) -> List[str]:
                 "%s 'letters' must be null or an object of 'S'/'V'" % where
             )
     problems.extend(_validate_margins(where, entry.get("margins")))
+    problems.extend(
+        _validate_observability(where, entry.get("observability"))
+    )
     problems.extend(
         "%s metrics: %s" % (where, problem)
         for problem in validate_snapshot(entry.get("metrics"))

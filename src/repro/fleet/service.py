@@ -126,6 +126,7 @@ class FleetService:
         policy: str = "block",
         batch_events: int = 256,
         robustness: bool = False,
+        observability: bool = False,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -146,6 +147,9 @@ class FleetService:
         #: Also stream per-rule robustness margins (each shard's rollup
         #: entry gains a ``margins`` block — see ``StreamShard.margins``).
         self.robustness = robustness
+        #: Attach the automata pass's minimal-observable-set bandwidth
+        #: hint to every shard (``StreamShard.observability_hint``).
+        self.observability = observability
         #: Service-level instruments (submissions, backpressure, batches).
         self.registry = MetricsRegistry()
         self._shards: Dict[str, StreamShard] = {}
@@ -176,6 +180,7 @@ class FleetService:
                 retention=self.retention,
                 memo=self.memo,
                 robustness=self.robustness,
+                observability=self.observability,
             )
             self.registry.counter("fleet.streams_opened").inc()
         return shard

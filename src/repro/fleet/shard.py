@@ -37,10 +37,16 @@ class StreamShard:
         retention: float = 1.0,
         memo: bool = True,
         robustness: bool = False,
+        observability: bool = False,
     ) -> None:
         self.stream_id = stream_id
         self.registry = MetricsRegistry()
         self.robustness = robustness
+        self.observability = observability
+        self._rules = tuple(rules)
+        self._machines = tuple(machines)
+        self._period = period
+        self._observability_hint: Optional[Dict[str, object]] = None
         self.monitor = OnlineMonitor(
             rules,
             machines=machines,
@@ -106,6 +112,46 @@ class StreamShard:
             )
         }
 
+    def observability_hint(self) -> Optional[Dict[str, object]]:
+        """Per-stream bandwidth hint from the symbolic automata pass, or
+        ``None`` when the shard was built with ``observability=False``.
+
+        A signal is *droppable* only when every rule on the shard can do
+        without it — the per-rule minimal observable sets are unioned
+        over the stream's rule set, and any rule the automata pass
+        cannot compile conservatively requires all of its signals.
+        Computed once (static analysis of the rule set, not of the
+        traffic) and cached.
+        """
+        if not self.observability:
+            return None
+        if self._observability_hint is None:
+            from repro.analysis.automata import compile_rule
+
+            referenced: set = set()
+            required: set = set()
+            for rule in self._rules:
+                compiled = compile_rule(
+                    rule, machines=self._machines, period=self._period
+                )
+                if compiled.observability is None:
+                    names = set(rule.signals())
+                    referenced |= names
+                    required |= names
+                else:
+                    referenced |= set(compiled.observability.referenced)
+                    required |= set(compiled.observability.required)
+            droppable = sorted(referenced - required)
+            self._observability_hint = {
+                "referenced": sorted(referenced),
+                "required": sorted(required),
+                "droppable": droppable,
+                "bandwidth_hint": (
+                    len(droppable) / len(referenced) if referenced else 0.0
+                ),
+            }
+        return self._observability_hint
+
     def snapshot(self) -> Dict[str, object]:
         """This stream's entry in the ``repro.fleet/v1`` rollup."""
         if self.report is not None:
@@ -128,5 +174,6 @@ class StreamShard:
             "finished": self.report is not None,
             "letters": letters,
             "margins": self.margins(),
+            "observability": self.observability_hint(),
             "metrics": self.registry.snapshot(),
         }

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 import pytest
@@ -44,6 +45,18 @@ def fixture_rules():
         # stays at -5.  rI is a tight proof (AU503): margin >= 0.5 only.
         Rule.from_text("rH", "h", "ACCSetSpeed < -5"),
         Rule.from_text("rI", "i", "Velocity < 120.5"),
+        # The AU6xx trio.  rJ's unbounded eventually has no finite
+        # decision horizon (AU601); rK uses a past operator the automata
+        # pass does not model (AU603); rL's first disjunct is NEVER
+        # under the DBC ranges, so the automaton decides in one row
+        # while future_reach makes the monitor buffer five (AU602).
+        Rule("rJ", "j", Eventually(0.0, math.inf, parse_formula("TargetRange > 100"))),
+        Rule.from_text("rK", "k", "once[0, 0.2] ServiceACC"),
+        Rule.from_text(
+            "rL",
+            "l",
+            "(always[0, 0.4] TargetRelVel > 500) or (TargetRelVel > 0)",
+        ),
     ]
 
 
@@ -189,9 +202,12 @@ class TestFixtureAudit:
     def test_sections_route_by_family(self, report):
         # Margin findings (AU5xx) split by scope: rule-level AU501/AU503
         # join the rules section, per-cell AU502 joins the plan section.
+        # Monitorability certificates (AU6xx) are rule-level by nature.
         rules_codes = {d.code for d in report.sections["rules"]}
         assert rules_codes
-        assert all(code[:3] in ("AU1", "AU5") for code in rules_codes)
+        assert all(
+            code[:3] in ("AU1", "AU5", "AU6") for code in rules_codes
+        )
         coverage_codes = {d.code for d in report.sections["coverage"]}
         assert coverage_codes
         assert all(code.startswith("AU2") for code in coverage_codes)
@@ -288,3 +304,127 @@ class TestAuditSchema:
         dump = build_audit_report([fixture_report()])
         dump["targets"][0]["summary"]["rules"] = -1
         assert any("summary" in p for p in validate_audit_report(dump))
+
+
+class TestRefineEnvSeeding:
+    """Regression: the prover used to decompose conjunctive antecedents
+    pairwise only, so compound consequents like ``x + y > 5`` — true
+    only under the *joint* refinement — always came back unknown."""
+
+    def test_joint_refinement_decides_arithmetic_consequent(self):
+        a = parse_formula("Velocity >= 2 and RequestedDecel >= 4")
+        b = parse_formula("Velocity + RequestedDecel > 5")
+        assert implies(a, b)
+
+    def test_mirrored_comparison_orientation_seeds_too(self):
+        a = parse_formula("2 <= Velocity and 4 <= RequestedDecel")
+        b = parse_formula("Velocity + RequestedDecel > 5")
+        assert implies(a, b)
+
+    def test_joint_refinement_respects_existing_env(self, database):
+        from repro.analysis.analyzer import database_env
+
+        env = database_env(database)
+        # Velocity's DBC range is [-10, 120]; with the conjunct
+        # narrowing it to [100, 120] the sum is provably > 90.
+        a = parse_formula("Velocity >= 100 and RequestedDecel >= 0")
+        b = parse_formula("Velocity + RequestedDecel > 90")
+        assert implies(a, b, env)
+
+    def test_unprovable_consequent_stays_unknown(self):
+        a = parse_formula("Velocity >= 2 and RequestedDecel >= 4")
+        b = parse_formula("Velocity + RequestedDecel > 10")
+        assert not implies(a, b)
+
+    def test_refine_env_reports_contradictory_antecedent(self):
+        from repro.analysis.audit import _refine_env
+
+        refined, contradictory = _refine_env(
+            parse_formula("Velocity >= 10 and Velocity < 5"), {}
+        )
+        assert contradictory
+        assert refined is not None
+
+    def test_refine_env_none_when_nothing_narrows(self):
+        from repro.analysis.audit import _refine_env
+
+        refined, contradictory = _refine_env(
+            parse_formula("Velocity > 0 or BrakeRequested"), {}
+        )
+        assert refined is None
+        assert not contradictory
+
+
+class TestDecisionProcedureFindings:
+    """AU101/102/103 retried through the automata prover when the
+    syntactic pass comes back unknown — the finding text names the
+    decision procedure so triage knows the proof's provenance."""
+
+    def _env_ctx(self, database):
+        from repro.analysis.analyzer import database_env
+        from repro.analysis.audit import _ProverContext
+        from repro.analysis.predicates import dbc_environment
+
+        _, bools = dbc_environment(database)
+        return database_env(database), _ProverContext(bool_signals=bools)
+
+    def test_au101_contradiction_by_decision_procedure(self, database):
+        from repro.analysis.audit import _rule_pair_checks
+
+        env, ctx = self._env_ctx(database)
+        rules = [
+            Rule.from_text("rA", "a", "abs(RequestedDecel) <= 0.5"),
+            Rule.from_text("rB", "b", "RequestedDecel > 0.75"),
+        ]
+        assert not contradicts(rules[0].formula, rules[1].formula, env)
+        findings = _rule_pair_checks(rules, env, ctx)
+        au101 = [f for f in findings if f.code == "AU101"]
+        assert len(au101) == 1
+        assert "by decision procedure" in au101[0].message
+
+    def test_au102_subsumption_by_decision_procedure(self, database):
+        from repro.analysis.audit import _rule_pair_checks
+
+        env, ctx = self._env_ctx(database)
+        rules = [
+            Rule.from_text(
+                "strong",
+                "s",
+                "(always[0, 0.1] Velocity > 5) "
+                "and (always[0.12, 0.2] Velocity > 5)",
+            ),
+            Rule.from_text("weak", "w", "always[0, 0.2] Velocity > 5"),
+        ]
+        assert not implies(rules[0].formula, rules[1].formula, env)
+        findings = _rule_pair_checks(rules, env, ctx)
+        au102 = [f for f in findings if f.code == "AU102"]
+        assert len(au102) == 1
+        assert au102[0].subject == "rule weak"
+        assert "by decision procedure" in au102[0].message
+
+    def test_au103_validity_by_decision_procedure(self, database):
+        from repro.analysis.audit import _vacuity_checks
+        from repro.analysis.checks import formula_status
+
+        env, ctx = self._env_ctx(database)
+        rule = Rule.from_text("taut", "t", "Velocity > 5 or Velocity <= 5")
+        assert formula_status(rule.effective_formula(), env) != "always"
+        findings = _vacuity_checks([rule], env, ctx)
+        au103 = [f for f in findings if f.code == "AU103"]
+        assert len(au103) == 1
+        assert "by decision procedure" in au103[0].message
+
+    def test_syntactic_proof_keeps_syntactic_message(self, database):
+        # When the cheap prover already decides, the automata retry
+        # must not run (and must not duplicate the finding).
+        from repro.analysis.audit import _rule_pair_checks
+
+        env, ctx = self._env_ctx(database)
+        rules = [
+            Rule.from_text("rA", "a", "Velocity >= 0"),
+            Rule.from_text("rB", "b", "Velocity < 0"),
+        ]
+        findings = _rule_pair_checks(rules, env, ctx)
+        au101 = [f for f in findings if f.code == "AU101"]
+        assert len(au101) == 1
+        assert "statically contradicts" in au101[0].message

@@ -162,6 +162,108 @@ class TestShardMargins:
         )
 
 
+def partitioned_rules():
+    """One rule with a statically-dead disjunct: the automata pass can
+    drop ``x`` and ``y`` (only the ``w`` branch is reachable)."""
+    return [
+        Rule.from_text(
+            "mixed", "f", "(x > 0 and x <= 0 and y > 0) or (w <= 0)"
+        ),
+    ]
+
+
+class TestShardObservability:
+    def test_hint_null_without_observability(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        shard.feed(0.0, "x", 1.0)
+        assert shard.observability_hint() is None
+        assert shard.snapshot()["observability"] is None
+
+    def test_hint_partitions_referenced_signals(self):
+        shard = StreamShard(
+            "v1", partitioned_rules(), min_chunk_rows=10, observability=True
+        )
+        hint = shard.snapshot()["observability"]
+        assert hint == {
+            "referenced": ["w", "x", "y"],
+            "required": ["w"],
+            "droppable": ["x", "y"],
+            "bandwidth_hint": pytest.approx(2 / 3),
+        }
+
+    def test_uncompilable_rule_requires_all_its_signals(self):
+        # Past-time operators are outside the automata fragment, so the
+        # hint must conservatively keep every signal that rule reads.
+        rules = partitioned_rules() + [
+            Rule.from_text("past", "f", "once[0, 0.2] y > 0"),
+        ]
+        shard = StreamShard(
+            "v1", rules, min_chunk_rows=10, observability=True
+        )
+        hint = shard.observability_hint()
+        assert hint["required"] == ["w", "y"]
+        assert hint["droppable"] == ["x"]
+
+    def test_hint_is_static_and_cached(self):
+        shard = StreamShard(
+            "v1", partitioned_rules(), min_chunk_rows=10, observability=True
+        )
+        first = shard.observability_hint()
+        for i in range(100):
+            shard.feed(i * PERIOD, "w", -1.0)
+        shard.finish()
+        assert shard.observability_hint() is first
+
+    def test_fleet_block_unions_required_over_streams(self):
+        # Stream "b" runs a rule that genuinely needs x, so x is no
+        # longer droppable fleet-wide even though "a" could shed it.
+        a = StreamShard(
+            "a", partitioned_rules(), min_chunk_rows=10, observability=True
+        )
+        b = StreamShard(
+            "b", simple_rules(), min_chunk_rows=10, observability=True
+        )
+        rollup = require_valid_fleet_snapshot(fleet_rollup([a, b]))
+        block = rollup["fleet"]["observability"]
+        assert block["referenced"] == ["w", "x", "y"]
+        assert block["required"] == ["w", "x"]
+        assert block["droppable"] == ["y"]
+
+    def test_fleet_block_skips_non_reporting_streams(self):
+        plain = StreamShard("plain", simple_rules(), min_chunk_rows=10)
+        obs = StreamShard(
+            "obs", partitioned_rules(), min_chunk_rows=10, observability=True
+        )
+        rollup = require_valid_fleet_snapshot(fleet_rollup([plain, obs]))
+        assert rollup["streams"]["plain"]["observability"] is None
+        assert rollup["fleet"]["observability"]["droppable"] == ["x", "y"]
+
+    def test_fleet_block_null_when_nobody_reports(self):
+        shard = StreamShard("v1", simple_rules(), min_chunk_rows=10)
+        rollup = require_valid_fleet_snapshot(fleet_rollup([shard]))
+        assert rollup["fleet"]["observability"] is None
+
+    def test_validator_rejects_broken_partition(self):
+        shard = StreamShard(
+            "v1", partitioned_rules(), min_chunk_rows=10, observability=True
+        )
+        rollup = fleet_rollup([shard])
+        rollup["streams"]["v1"]["observability"]["droppable"] = []
+        assert any(
+            "partition" in problem
+            for problem in validate_fleet_snapshot(rollup)
+        )
+        fresh = StreamShard(
+            "v1", partitioned_rules(), min_chunk_rows=10, observability=True
+        )
+        rollup = fleet_rollup([fresh])
+        rollup["fleet"]["observability"]["bandwidth_hint"] = 1.5
+        assert any(
+            "bandwidth_hint" in problem
+            for problem in validate_fleet_snapshot(rollup)
+        )
+
+
 class TestFleetService:
     def _run(self, coro):
         return asyncio.run(coro)

@@ -454,6 +454,86 @@ class TestMarginsCommand:
         assert "provably safe" in out
 
 
+class TestAutomataCommand:
+    def test_paper_rules_text_report(self, capsys):
+        assert main(["automata"]) == 0
+        out = capsys.readouterr().out
+        assert "automata paper rules (strict)" in out
+        assert "0 neither" in out
+        for rule_id in ("rule0", "rule3", "rule6"):
+            assert rule_id in out
+
+    def test_strict_paper_rules_exit_zero(self):
+        # Every paper rule is monitorable, so --strict must not trip.
+        assert main(["automata", "--strict"]) == 0
+
+    def test_json_report_is_schema_valid(self, capsys):
+        from repro.analysis import require_valid_automata_report
+
+        assert main(["automata", "--format", "json"]) == 0
+        report = require_valid_automata_report(
+            json.loads(capsys.readouterr().out)
+        )
+        assert report["summary"]["bounded"] == 7
+
+    def test_json_out_matches_golden_fixture(self, tmp_path, capsys):
+        import os
+
+        golden = os.path.join(
+            os.path.dirname(__file__), "..", "results", "automata_paper.json"
+        )
+        out_file = tmp_path / "automata.json"
+        code = main(
+            ["automata", "--format", "json", "--out", str(out_file)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        with open(golden, encoding="utf-8") as handle:
+            assert out_file.read_text(encoding="utf-8") == handle.read()
+
+    def test_dot_dir_writes_one_graph_per_rule(self, tmp_path, capsys):
+        dot_dir = tmp_path / "dots"
+        assert main(["automata", "--dot-dir", str(dot_dir)]) == 0
+        capsys.readouterr()
+        files = sorted(path.name for path in dot_dir.iterdir())
+        assert files == ["rule%d.dot" % i for i in range(7)]
+        for path in dot_dir.iterdir():
+            assert path.read_text(encoding="utf-8").startswith("digraph")
+
+    def test_rules_file_target(self, tmp_path, capsys):
+        path = tmp_path / "custom.rules"
+        path.write_text(
+            "[rule custom]\nformula = always[0, 100ms] Velocity >= 0\n",
+            encoding="utf-8",
+        )
+        assert main(["automata", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+        assert "custom: bounded" in out
+
+    def test_unsupported_rules_do_not_trip_strict(self, tmp_path, capsys):
+        # Past-time operators fall outside the automata fragment; they
+        # report "unsupported", which is not a monitorability failure.
+        path = tmp_path / "past.rules"
+        path.write_text(
+            "[rule past]\nformula = once[0, 100ms] BrakeRequested\n",
+            encoding="utf-8",
+        )
+        assert main(["automata", str(path), "--strict"]) == 0
+        assert "unsupported" in capsys.readouterr().out
+
+    def test_max_states_must_be_positive(self, capsys):
+        assert main(["automata", "--max-states", "0"]) == 2
+        assert "--max-states" in capsys.readouterr().err
+
+    def test_malformed_file_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "bad.rules"
+        path.write_text("[rule broken\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["automata", str(path)])
+        assert excinfo.value.code == 2
+
+
 class TestFleetCommand:
     def _write_logs(self, tmp_path, capsys):
         log_dir = tmp_path / "logs"
@@ -487,6 +567,32 @@ class TestFleetCommand:
         assert validate_fleet_snapshot(rollup) == []
         assert rollup["fleet"]["streams"] == 4
         assert all(e["chunks"] > 0 for e in rollup["streams"].values())
+
+    def test_observability_flag_attaches_bandwidth_hints(
+        self, tmp_path, capsys
+    ):
+        from repro.fleet import validate_fleet_snapshot
+
+        log_dir = self._write_logs(tmp_path, capsys)
+        rollup_file = tmp_path / "rollup.json"
+        code = main(
+            [
+                "fleet", "replay", str(log_dir),
+                "--streams", "2",
+                "--observability",
+                "--rollup-out", str(rollup_file),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        rollup = json.loads(rollup_file.read_text())
+        assert validate_fleet_snapshot(rollup) == []
+        for entry in rollup["streams"].values():
+            assert entry["observability"] is not None
+        fleet_block = rollup["fleet"]["observability"]
+        # Every paper-rule signal is load-bearing: nothing droppable.
+        assert fleet_block["droppable"] == []
+        assert fleet_block["bandwidth_hint"] == 0.0
 
     def test_empty_directory_is_a_usage_error(self, tmp_path):
         with pytest.raises(SystemExit) as excinfo:

@@ -212,6 +212,66 @@ class TestListRoundTrips:
         )
 
 
+class TestLayering:
+    def test_module_level_testing_import_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "analysis/audit.py",
+            "from repro.testing.campaign import table1_tests\n",
+        )
+        assert [f.code for f in findings] == ["RL005"]
+        assert "repro.testing" in findings[0].message
+
+    def test_module_level_fleet_import_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "analysis/rollups.py", "import repro.fleet.shard\n"
+        )
+        assert [f.code for f in findings] == ["RL005"]
+        assert "repro.fleet" in findings[0].message
+
+    def test_from_repro_import_package_flagged(self, tmp_path):
+        # `from repro import testing` only names the package through
+        # its alias list, but binds the same module at import time.
+        findings = lint_source(
+            tmp_path, "analysis/checks.py", "from repro import testing\n"
+        )
+        assert [f.code for f in findings] == ["RL005"]
+
+    def test_one_finding_per_statement(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "analysis/audit.py",
+            "from repro.testing.campaign import InjectionTest, table1_tests\n",
+        )
+        assert [f.code for f in findings] == ["RL005"]
+
+    def test_function_level_import_allowed(self, tmp_path):
+        # The sanctioned lazy pattern audit.py uses: the harness only
+        # loads when a caller actually crosses the layer boundary.
+        assert not lint_source(
+            tmp_path,
+            "analysis/audit.py",
+            "def planned(tests):\n"
+            "    from repro.testing.campaign import table1_tests\n"
+            "    return table1_tests()\n",
+        )
+
+    def test_lower_layer_imports_allowed(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "analysis/automata.py",
+            "from repro.core.ast import Always\n"
+            "from repro.analysis.intervals import Interval\n",
+        )
+
+    def test_harness_imports_fine_outside_analysis(self, tmp_path):
+        assert not lint_source(
+            tmp_path,
+            "testing/campaign.py",
+            "from repro.fleet.shard import StreamShard\n",
+        )
+
+
 class TestRealTree:
     def test_src_repro_is_clean(self):
         assert repolint.lint_paths([str(REPO_ROOT / "src" / "repro")]) == []

@@ -38,6 +38,16 @@ probe indirectly, so this tiny linter enforces them statically (stdlib
   ``logs/store.py``), whose *job* is converting arrays to and from
   interchange formats, are allowlisted.
 
+* **RL005 — layering: analysis must not import the harness.**  A
+  module-level ``import repro.testing`` / ``import repro.fleet`` (or
+  any ``from`` variant) under ``analysis/`` makes the static layer
+  depend on the dynamic one at import time, so ``import
+  repro.analysis`` would drag in the campaign harness and the fleet
+  service — and one cycle later the harness cannot import its own
+  auditor.  Imports *inside* function bodies stay legal: that is the
+  sanctioned lazy pattern ``audit.py`` uses to reach the planned-test
+  catalog only when a caller actually passes tests.
+
 Usage::
 
     python tools/repolint.py [root ...]
@@ -94,6 +104,12 @@ SERIALIZATION_ALLOWLIST = (
     os.sep + "logs" + os.sep + "store.py",
 )
 
+#: Path fragments forming the static-analysis layer (RL005).
+ANALYSIS_SUBTREES = (os.sep + "analysis" + os.sep,)
+
+#: Packages the analysis layer must not import at module level.
+UPPER_LAYERS = ("repro.testing", "repro.fleet")
+
 
 class Finding(NamedTuple):
     path: str
@@ -144,6 +160,41 @@ def _blocking_in_async(tree: ast.AST) -> Iterator[Tuple[int, str, str]]:
     yield from visit(tree, False)
 
 
+def _import_targets(node: ast.AST) -> List[str]:
+    """Every dotted module path an import statement may bind.
+
+    ``from repro import testing`` names ``repro.testing`` only through
+    its alias list, so aliases are joined onto the ``from`` module.
+    """
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        targets = [module] if module else []
+        targets.extend(
+            "%s.%s" % (module, alias.name) if module else alias.name
+            for alias in node.names
+        )
+        return targets
+    return []
+
+
+def _import_time_imports(tree: ast.AST) -> Iterator[Tuple[int, List[str]]]:
+    """``(line, targets)`` for imports executed at import time — module
+    or class body, but *not* inside a ``def`` (lazy function-level
+    imports are the sanctioned way across layer boundaries)."""
+
+    def visit(node: ast.AST) -> Iterator[Tuple[int, List[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                yield (child.lineno, _import_targets(child))
+            yield from visit(child)
+
+    yield from visit(tree)
+
+
 def _is_list_roundtrip(node: ast.Call) -> bool:
     """True for ``np.array(list(...))`` / ``numpy.array(list(...))``."""
     base, attr = _call_target(node)
@@ -165,6 +216,23 @@ def _check_file(path: str, source: str) -> Iterator[Finding]:
     hot_path = any(part in path for part in HOT_PATH_SUBTREES) and not any(
         part in path for part in SERIALIZATION_ALLOWLIST
     )
+    if any(part in path for part in ANALYSIS_SUBTREES):
+        for line, targets in _import_time_imports(tree):
+            for layer in UPPER_LAYERS:
+                if any(
+                    name == layer or name.startswith(layer + ".")
+                    for name in targets
+                ):
+                    yield Finding(
+                        path,
+                        line,
+                        "RL005",
+                        "module-level import of %s couples the static "
+                        "analysis layer to the harness at import time; "
+                        "move the import into the function that needs "
+                        "it" % layer,
+                    )
+                    break
     if any(part in path for part in ASYNC_SUBTREES):
         for line, base, attr in _blocking_in_async(tree):
             yield Finding(
